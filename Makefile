@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+
+.PHONY: install test bench report verify all-figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) -c "from repro.bench.report import generate_report; print(generate_report('REPORT.md'))"
+
+verify:
+	$(PY) -c "from repro.cli import bench_main; bench_main(['verify'])"
+
+all-figures:
+	$(PY) -c "from repro.cli import bench_main; bench_main(['all'])"
+
+outputs:
+	$(PY) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,137 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* exact LP port binding vs OSACA's equal-split heuristic (accuracy and
+  speed),
+* simulator scheduler-window sensitivity,
+* SpecI2M bandwidth-threshold sweep,
+* MCA scheduling-data ablation: how much of the Fig. 3 gap is *data*
+  rather than algorithm.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import analyze_instructions
+from repro.analysis.portbinding import (
+    assign_ports_heuristic,
+    assign_ports_optimal,
+)
+from repro.isa import parse_kernel
+from repro.kernels import enumerate_corpus
+from repro.machine import get_chip_spec, get_machine_model
+from repro.mca import MCASchedData, MCASimulator
+from repro.simulator.core import CoreSimulator
+from repro.simulator.multicore import run_store_benchmark
+
+
+@pytest.fixture(scope="module")
+def zen4_blocks():
+    model = get_machine_model("zen4")
+    entries = enumerate_corpus(machines=("genoa",), kernels=("striad", "j3d7pt", "sum"))
+    return model, [parse_kernel(e.assembly, "x86") for e in entries]
+
+
+class TestPortBindingAblation:
+    def test_lp_binding_speed(self, benchmark, zen4_blocks):
+        model, blocks = zen4_blocks
+        resolved = [[model.resolve(i) for i in b] for b in blocks]
+
+        def run_all():
+            return [assign_ports_optimal(model, r) for r in resolved]
+
+        benchmark(run_all)
+
+    def test_heuristic_binding_speed(self, benchmark, zen4_blocks):
+        model, blocks = zen4_blocks
+        resolved = [[model.resolve(i) for i in b] for b in blocks]
+
+        def run_all():
+            return [assign_ports_heuristic(model, r) for r in resolved]
+
+        benchmark(run_all)
+
+    def test_lp_tightens_the_bound(self, zen4_blocks):
+        """The LP bound is tighter (lower) on at least some corpus blocks
+        and never looser."""
+        model, blocks = zen4_blocks
+        tighter = 0
+        for b in blocks:
+            r = [model.resolve(i) for i in b]
+            lp = assign_ports_optimal(model, r).max_pressure
+            heur = assign_ports_heuristic(model, r).max_pressure
+            assert lp <= heur + 1e-9
+            if lp < heur - 1e-6:
+                tighter += 1
+        assert tighter >= 1
+
+
+class TestSchedulerWindowAblation:
+    def test_window_sensitivity(self, benchmark):
+        """Shrinking the scheduler window raises measured cycles for
+        wide dependency trees (backfill opportunity is lost)."""
+        model = get_machine_model("zen4")
+        asm = enumerate_corpus(machines=("genoa",), kernels=("j3d27pt",))[2].assembly
+        instrs = parse_kernel(asm, "x86")
+
+        def measure(window):
+            m = dataclasses.replace(model, scheduler_size=window,
+                                    entries=list(model.entries))
+            return CoreSimulator(m).run(instrs, iterations=80, warmup=20)
+
+        big = benchmark.pedantic(measure, args=(160,), rounds=1, iterations=1)
+        tiny = measure(4)
+        assert tiny.cycles_per_iteration >= big.cycles_per_iteration
+
+
+class TestSpecI2MThresholdAblation:
+    def test_threshold_sweep(self, benchmark):
+        """Lower engagement thresholds move the Fig. 4 crossover left."""
+        spec = get_chip_spec("spr")
+
+        def crossover(threshold):
+            mem = dataclasses.replace(spec.memory, speci2m_threshold=threshold)
+            s = dataclasses.replace(spec, memory=mem)
+            for n in range(1, 14):
+                r = run_store_benchmark(s, n, working_set_lines=1024)
+                if r.traffic_ratio < 1.99:
+                    return n
+            return 14
+
+        low = benchmark.pedantic(crossover, args=(0.3,), rounds=1, iterations=1)
+        high = crossover(0.9)
+        assert low < high
+
+
+class TestMCADataAblation:
+    def test_generic_data_is_the_error_source(self, benchmark):
+        """Running the MCA *algorithm* with undegraded scheduling data
+        predicts strictly faster-or-equal blocks — the slow-side bias of
+        Fig. 3 is the scheduling data, not the timeline simulation."""
+        model = get_machine_model("gcs")
+        entries = enumerate_corpus(machines=("gcs",), kernels=("striad", "j2d5pt", "sum"))
+        blocks = [parse_kernel(e.assembly, "aarch64") for e in entries]
+
+        def predict_all(sched):
+            return [
+                MCASimulator(model, sched).run(b, iterations=60, warmup=15)
+                for b in blocks
+            ]
+
+        degraded = benchmark.pedantic(
+            predict_all, args=(MCASchedData(model),), rounds=1, iterations=1
+        )
+        clean = predict_all(
+            MCASchedData(model, sve_pipe_limit=0, fp_port_limit=0,
+                         store_uop_inflation=0, drop_throughput_caps=False)
+        )
+        slower = sum(
+            d.cycles_per_iteration >= c.cycles_per_iteration - 1e-9
+            for d, c in zip(degraded, clean)
+        )
+        strictly = sum(
+            d.cycles_per_iteration > c.cycles_per_iteration + 1e-6
+            for d, c in zip(degraded, clean)
+        )
+        assert slower == len(blocks)  # degradation only removes resources
+        assert strictly >= len(blocks) // 3  # and it bites on many blocks

@@ -1,0 +1,24 @@
+"""Fig. 2 regeneration benchmark: frequency curves per ISA class."""
+
+import pytest
+
+from repro.bench import fig2
+
+
+def test_fig2(benchmark):
+    series = benchmark(fig2.run)
+    by = {(s.chip, s.isa_class): s for s in series}
+
+    # full-socket endpoints (paper's reported sustained frequencies)
+    for key, ref in fig2.PAPER_REFERENCE.items():
+        assert by[key].full_socket_ghz == pytest.approx(ref, abs=0.12), key
+
+    # GCS flat; SPR AVX-512 53% of turbo; Genoa 84% of turbo
+    gcs = by[("gcs", "sve")]
+    assert all(f == pytest.approx(3.4) for _, f in gcs.points)
+    assert by[("spr", "avx512")].full_socket_ghz / 3.8 == pytest.approx(0.53, abs=0.03)
+    assert by[("genoa", "avx512")].full_socket_ghz / 3.7 == pytest.approx(0.84, abs=0.03)
+
+    # the 1.7x sustained-frequency edge of GCS over SPR for AVX-512 code
+    ratio = gcs.full_socket_ghz / by[("spr", "avx512")].full_socket_ghz
+    assert ratio == pytest.approx(1.7, abs=0.1)

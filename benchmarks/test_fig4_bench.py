@@ -1,0 +1,37 @@
+"""Fig. 4 regeneration benchmark: write-allocate evasion curves."""
+
+import pytest
+
+from repro.bench import fig4
+
+
+def test_fig4(benchmark):
+    series = benchmark.pedantic(
+        fig4.run, kwargs=dict(n_points=10, working_set_lines=4096),
+        rounds=1, iterations=1,
+    )
+    by = {(s.chip, s.non_temporal): s for s in series}
+
+    # full-socket endpoints against the paper
+    for key, ref in fig4.PAPER_REFERENCE.items():
+        assert by[key].full_socket_ratio == pytest.approx(ref, abs=0.05), key
+
+    # shapes:
+    gcs = [p.traffic_ratio for p in by[("gcs", False)].points]
+    assert max(gcs) < 1.02  # automatic claim from core 1
+
+    spr = [p.traffic_ratio for p in by[("spr", False)].points]
+    assert spr[0] == pytest.approx(2.0, abs=0.02)  # no evasion at 1 core
+    assert min(spr) >= 1.74  # <= 25% reduction
+    # crossover: SpecI2M engages somewhere inside the sweep
+    assert any(a > 1.9 and b < 1.8 for a, b in zip(spr, spr[1:]))
+
+    genoa = [p.traffic_ratio for p in by[("genoa", False)].points]
+    assert all(r == pytest.approx(2.0, abs=0.02) for r in genoa)
+
+    genoa_nt = [p.traffic_ratio for p in by[("genoa", True)].points]
+    assert all(r == pytest.approx(1.0, abs=0.01) for r in genoa_nt)
+
+    spr_nt = [p.traffic_ratio for p in by[("spr", True)].points]
+    assert spr_nt[0] == pytest.approx(1.0, abs=0.02)  # small core counts clean
+    assert spr_nt[-1] == pytest.approx(1.10, abs=0.03)  # 10% residual

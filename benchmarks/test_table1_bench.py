@@ -1,0 +1,31 @@
+"""Table I regeneration benchmark: node specs + measured BW and peak."""
+
+import pytest
+
+from repro.bench import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.run)
+    by = {r.chip: r for r in rows}
+
+    # paper values (Table I)
+    assert by["gcs"].bw_measured == pytest.approx(467, rel=0.05)
+    assert by["spr"].bw_measured == pytest.approx(273, rel=0.05)
+    assert by["genoa"].bw_measured == pytest.approx(360, rel=0.05)
+
+    assert by["gcs"].achievable_peak_tflops == pytest.approx(3.82, rel=0.05)
+    assert by["spr"].achievable_peak_tflops == pytest.approx(3.49, rel=0.1)
+    assert by["genoa"].achievable_peak_tflops == pytest.approx(5.1, rel=0.1)
+
+    # who-wins ordering: Genoa leads achievable peak, GCS leads
+    # bandwidth efficiency
+    assert by["genoa"].achievable_peak_tflops > by["gcs"].achievable_peak_tflops
+    assert by["genoa"].achievable_peak_tflops > by["spr"].achievable_peak_tflops
+    eff = {c: by[c].bw_measured / by[c].bw_theoretical for c in by}
+    assert eff["spr"] > eff["gcs"] > eff["genoa"]  # 90% > 87% > 78%
+
+
+def test_table1_render(benchmark):
+    text = benchmark(table1.render)
+    assert "Achiev. DP peak" in text

@@ -1,0 +1,15 @@
+"""Table II regeneration benchmark: in-core features from the models."""
+
+from repro.bench import table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2.run)
+    for r in rows:
+        ref = table2.PAPER_REFERENCE[r.uarch]
+        assert r.ports == ref["ports"]
+        assert r.simd_bytes == ref["simd_bytes"]
+        assert r.int_units == ref["int_units"]
+        assert r.fp_units == ref["fp_units"]
+        assert r.loads_per_cycle == ref["loads"]
+        assert r.stores_per_cycle == ref["stores"]

@@ -1,0 +1,48 @@
+"""Table III regeneration benchmark: instruction microbenchmarks.
+
+Reproduces the full 3-chip x 9-instruction matrix and checks every cell
+against the paper's published throughput/latency values.
+"""
+
+import pytest
+
+from repro.bench import table3
+from repro.bench.microbench import run_microbenchmarks
+
+
+@pytest.mark.parametrize("chip", ["gcs", "spr", "genoa"])
+def test_table3_chip(benchmark, chip):
+    results = benchmark.pedantic(
+        run_microbenchmarks, args=(chip,), rounds=1, iterations=1
+    )
+    assert len(results) == 9
+    for r in results:
+        ref_tput, ref_lat = table3.PAPER_REFERENCE[chip][r.instruction]
+        assert r.throughput_per_cycle == pytest.approx(ref_tput, rel=0.10), (
+            f"{chip}/{r.instruction}: throughput {r.throughput_per_cycle} "
+            f"vs paper {ref_tput}"
+        )
+        assert r.latency_cycles == pytest.approx(ref_lat, rel=0.10), (
+            f"{chip}/{r.instruction}: latency {r.latency_cycles} "
+            f"vs paper {ref_lat}"
+        )
+
+
+def test_table3_cross_chip_ordering():
+    """Paper claims: GLC leads vector throughput; V2 leads latency."""
+    results = {c: {r.instruction: r for r in run_microbenchmarks(c)}
+               for c in ("gcs", "spr", "genoa")}
+    # SPR's 512-bit pipes double everyone's vector ADD/MUL/FMA rate
+    for instr in ("vec_add", "vec_mul", "vec_fma"):
+        assert results["spr"][instr].throughput_per_cycle == pytest.approx(
+            2 * results["gcs"][instr].throughput_per_cycle
+        )
+    # V2 has the lowest (or tied) latency for every instruction
+    for instr in results["gcs"]:
+        v2 = results["gcs"][instr].latency_cycles
+        assert v2 <= results["spr"][instr].latency_cycles + 1e-9
+        assert v2 <= results["genoa"][instr].latency_cycles + 1e-9
+    # V2 doubles x86 scalar throughput
+    assert results["gcs"]["scalar_add"].throughput_per_cycle == pytest.approx(
+        2 * results["spr"]["scalar_add"].throughput_per_cycle
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Edit, verify, and explore machine models.
+
+Three workflows on top of the model layer:
+
+1. dump a shipped model to an editable JSON machine file, change a
+   latency, and see the analysis react;
+2. run the ibench-style self-check on the edited model;
+3. the vector-length what-if: Grace with 256-bit SVE.
+
+Run:  python examples/model_editing.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.bench.ibench import measure_entry
+from repro.machine import get_machine_model, load_model, model_to_dict
+from repro.machine.whatif import elements_per_vector, widen_neoverse_v2
+
+CHAIN = "vfmadd231pd %ymm1, %ymm2, %ymm8\nsubq $1, %rax\njnz .L\n"
+
+
+def main() -> None:
+    # -- 1. dump / edit / reload -------------------------------------------
+    data = model_to_dict(get_machine_model("zen4"))
+    print(f"zen4 machine file: {len(data['entries'])} entries")
+    for e in data["entries"]:
+        if e["mnemonic"] == "vfmadd231pd" and e["signature"] == "y,y,y":
+            print(f"  editing vfmadd231pd y,y,y latency {e['latency']} -> 6.0")
+            e["latency"] = 6.0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "zen4_edited.json"
+        path.write_text(json.dumps(data))
+        edited = load_model(path)
+
+    stock = repro.analyze(CHAIN, arch="zen4")
+    custom = repro.analyze(CHAIN, arch=edited)
+    print(f"  FMA-chain prediction: stock {stock.prediction:.0f} cy/iter, "
+          f"edited {custom.prediction:.0f} cy/iter\n")
+
+    # -- 2. self-check an entry against the simulator ------------------------
+    model = get_machine_model("zen4")
+    entry = next(
+        e for e in model.entries
+        if (e.mnemonic, e.signature) == ("vfmadd231pd", "y,y,y")
+    )
+    r = measure_entry(model, entry)
+    print(f"ibench vfmadd231pd y,y,y on zen4: 1/throughput "
+          f"{r.reciprocal_throughput:.2f} cy (resource bound "
+          f"{r.model_bound:.2f}), latency {r.latency:.0f} cy\n")
+
+    # -- 3. what-if: Grace with VL=256 ---------------------------------------
+    base = get_machine_model("grace")
+    wide = widen_neoverse_v2(2)
+    sve_triad = """
+    ld1d z0.d, p0/z, [x1, x13, lsl #3]
+    ld1d z1.d, p0/z, [x2, x13, lsl #3]
+    fmla z0.d, p0/m, z1.d, z15.d
+    st1d z0.d, p0, [x0, x13, lsl #3]
+    incd x13
+    whilelo p0.d, x13, x14
+    b.any .L
+    """
+    for m in (base, wide):
+        meas = repro.simulate(sve_triad, arch=m)
+        per_elem = meas.cycles_per_iteration / elements_per_vector(m)
+        print(f"SVE triad on {m.name:22s}: "
+              f"{meas.cycles_per_iteration:.2f} cy/iter = "
+              f"{per_elem:.2f} cy/element")
+    print("\nSame SVE binary, half the per-element cost — the VLA payoff "
+          "the paper's Sec. II weighs against Golden Cove's 512-bit ISA.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Node-level scaling: which chip wins for which kernel?
+
+The paper's introduction frames the three-way comparison: SPR's wide
+vectors vs Genoa's core count vs Grace's sustained frequency and
+bandwidth efficiency.  This example combines the in-core model, the
+frequency governor, and the bandwidth saturation model to predict
+kernel GFLOP/s across core counts — and shows the crossovers.
+
+Run:  python examples/node_scaling.py
+"""
+
+from repro.analysis.scaling import predict_scaling
+from repro.kernels import all_kernels
+
+CASES = [
+    ("striad", "O2", "memory-bound streaming"),
+    ("j3d7pt", "O3", "stencil"),
+    ("pi", "Ofast", "compute-bound, divides"),
+    ("horner8", "O2", "compute-bound FMA chain"),
+    ("dot", "Ofast", "reduction"),
+]
+
+
+def main() -> None:
+    kernels = all_kernels()
+    for name, opt, label in CASES:
+        k = kernels[name]
+        print(f"=== {name} ({label}) at -{opt} ===")
+        winner_by_count: dict[int, str] = {}
+        for chip in ("gcs", "spr", "genoa"):
+            s = predict_scaling(k, chip, persona="gcc", opt=opt)
+            pts = "  ".join(
+                f"{p.cores}c:{p.performance_gflops:7.1f}" for p in s.points
+            )
+            bound = "BW" if s.points[-1].bandwidth_bound else "core"
+            print(f"  {chip:6s} [{s.isa_class:7s}] {pts}   (socket: {bound}-bound)")
+            for p in s.points:
+                cur = winner_by_count.get(p.cores, (None, 0.0))
+                if not isinstance(cur, tuple):
+                    continue
+                if p.performance_gflops > cur[1]:
+                    winner_by_count[p.cores] = (chip, p.performance_gflops)
+        full = {
+            chip: predict_scaling(k, chip, persona="gcc", opt=opt).points[-1]
+            for chip in ("gcs", "spr", "genoa")
+        }
+        best = max(full, key=lambda c: full[c].performance_gflops)
+        print(f"  full-socket winner: {best.upper()} "
+              f"({full[best].performance_gflops:.0f} GFlop/s)\n")
+
+    print("Observations (paper Secs. I-II):")
+    print(" * memory-bound kernels follow Table I's measured bandwidth:")
+    print("   GCS > Genoa > SPR;")
+    print(" * compute-bound vector kernels go to Genoa's 96 cores unless")
+    print("   SPR's 512-bit pipes offset its AVX-512 down-clocking;")
+    print(" * scalar/latency-bound kernels benefit from Grace's 4-wide")
+    print("   scalar FP and flat 3.4 GHz.")
+
+
+if __name__ == "__main__":
+    main()

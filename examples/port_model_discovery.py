@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Discover a port model experimentally — the paper's methodology.
+
+The paper (Sec. II): documentation "often is incomplete or insufficient
+to build a useful performance model. Therefore, we write microbenchmarks
+[...] for every interesting instruction to obtain its throughput,
+latency, and port occupation. For the latter, it is often necessary to
+interleave the instruction with known instructions to infer the
+potential ports of execution."
+
+This example runs that workflow against the simulated hardware:
+
+1. measure throughput and latency of a set of instructions with
+   generated microbenchmarks (ibench style);
+2. infer their candidate ports — with per-port µop counters on the
+   Intel core (they exist there), and with probe interleaving on the
+   AMD core (they don't);
+3. compare the inferred model with the shipped machine model.
+
+Run:  python examples/port_model_discovery.py
+"""
+
+from repro.analysis.portfinder import find_probes, infer_ports
+from repro.bench.ibench import UnbenchableEntry, measure_entry
+from repro.machine import get_machine_model
+
+TARGETS = {
+    "spr": [
+        ("vaddpd", "z,z,z"), ("vmulpd", "y,y,y"), ("vfmadd231pd", "z,z,z"),
+        ("vdivsd", "x,x,x"), ("imul", "r,r"), ("vpermilpd", "z,z"),
+        ("add", "r,r"),
+    ],
+    "zen4": [
+        ("vaddpd", "y,y,y"), ("vmulpd", "y,y,y"), ("imul", "r,r"),
+    ],
+}
+
+
+def entry_of(model, mnemonic, signature):
+    for e in model.entries:
+        if e.mnemonic == mnemonic and e.signature == signature:
+            return e
+    raise LookupError((mnemonic, signature))
+
+
+def main() -> None:
+    for arch, targets in TARGETS.items():
+        model = get_machine_model(arch)
+        method = "port counters" if model.name == "golden_cove" else "interleaving"
+        probes = find_probes(model)
+        print(f"=== {model.name} (inference via {method}) ===")
+        if method == "interleaving":
+            print(f"  single-port probe instructions found: "
+                  + ", ".join(f"{p}:{e.mnemonic}" for p, e in sorted(probes.items())))
+        print(f"{'instruction':26s} {'1/tput':>7} {'lat':>5}  "
+              f"{'inferred ports':22s} {'model says':18s}")
+        for mnemonic, sig in targets:
+            entry = entry_of(model, mnemonic, sig)
+            try:
+                m = measure_entry(model, entry)
+            except UnbenchableEntry as e:
+                print(f"{mnemonic:26s} (unbenchable: {e})")
+                continue
+            inf = infer_ports(model, entry)
+            lat = f"{m.latency:.0f}" if m.latency is not None else "-"
+            flag = "" if inf.correct else "  (partial: no probes for some ports)"
+            print(f"{mnemonic + ' ' + sig:26s} {m.reciprocal_throughput:7.2f} "
+                  f"{lat:>5}  {','.join(inf.inferred_ports):22s} "
+                  f"{','.join(inf.true_ports):18s}{flag}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compose the in-core model into node-level models (ECM + Roofline).
+
+The paper's conclusion points to the Execution-Cache-Memory model as
+the next step: this example feeds the in-core analysis of the STREAM
+triad and a Jacobi stencil into the ECM composition and a Roofline with
+kernel-specific (model-derived) ceilings.
+
+Run:  python examples/roofline_ecm.py
+"""
+
+from repro import analyze, generate_assembly, get_chip_spec, get_machine_model
+from repro.analysis.ecm import ECMModel
+from repro.analysis.roofline import RooflineModel
+from repro.kernels import KERNELS
+
+CASES = [
+    # (kernel, persona, chip, uarch)
+    ("striad", "gcc", "genoa", "zen4"),
+    ("j2d5pt", "gcc", "genoa", "zen4"),
+    ("striad", "gcc-arm", "gcs", "neoverse_v2"),
+]
+
+
+def main() -> None:
+    for kernel, persona, chip, uarch in CASES:
+        spec = get_chip_spec(chip)
+        k = KERNELS[kernel]
+        asm = generate_assembly(kernel, persona, "O2", uarch)
+        ana = analyze(asm, uarch)
+
+        elems_per_iter = 8 if uarch == "golden_cove" else (4 if uarch == "zen4" else 2)
+        flops = k.flops_per_element * elems_per_iter
+        bytes_mem = k.bytes_per_element * elems_per_iter
+
+        print(f"=== {kernel} / {persona} on {spec.name} ===")
+        print(f"  in-core prediction: {ana.prediction:.2f} cy/iter "
+              f"({elems_per_iter} elements/iter, bottleneck: {ana.bottleneck})")
+
+        ecm = ECMModel(model=get_machine_model(uarch), chip=chip)
+        pred = ecm.predict(
+            ana,
+            bytes_l1l2=bytes_mem,
+            bytes_l2l3=bytes_mem,
+            bytes_l3mem=bytes_mem,
+        )
+        print(f"  ECM decomposition:  {pred.as_string()}")
+        for level in ("L1", "L2", "L3", "MEM"):
+            cy = pred.cycles(level)
+            gf = flops / cy * spec.freq_base if cy else float("inf")
+            print(f"    data in {level:<4}: {cy:6.2f} cy/iter  "
+                  f"({gf:6.2f} GFlop/s per core)")
+
+        rl = RooflineModel(chip=chip)
+        pt = rl.place(ana, flops_per_iteration=flops, bytes_per_iteration=bytes_mem)
+        print(f"  Roofline: intensity {pt.arithmetic_intensity:.3f} F/B, "
+              f"in-core ceiling {pt.ceiling_gflops:,.0f} GFlop/s, "
+              f"attainable {pt.performance_gflops:,.0f} GFlop/s "
+              f"({pt.limiting_factor})\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Validate the in-core models on stencil kernels across compilers.
+
+A miniature of the paper's Fig. 3 methodology: generate the Jacobi and
+Gauss-Seidel kernels the way each compiler persona would at each
+optimization level, "measure" them on the simulated core, and compare
+both predictors.
+
+Run:  python examples/stencil_model_validation.py
+"""
+
+from repro import analyze, generate_assembly, get_machine_model, mca_predict, simulate
+from repro.kernels import OPT_LEVELS, personas_for_isa
+from repro.kernels.corpus import MACHINES
+
+KERNELS = ("j2d5pt", "j3d7pt", "j3d27pt", "gs2d5pt")
+
+
+def main() -> None:
+    print(f"{'test':42s} {'measured':>9} {'model':>8} {'RPE':>7} "
+          f"{'mca':>8} {'mcaRPE':>7}")
+    print("-" * 88)
+    for machine, (uarch, isa) in MACHINES.items():
+        for persona in personas_for_isa(isa):
+            for kernel in KERNELS:
+                for opt in OPT_LEVELS:
+                    asm = generate_assembly(kernel, persona, opt, uarch)
+                    meas = simulate(asm, uarch).cycles_per_iteration
+                    pred = analyze(asm, uarch).prediction
+                    mca = mca_predict(asm, uarch).cycles_per_iteration
+                    rpe = (meas - pred) / meas
+                    mca_rpe = (meas - mca) / meas
+                    tag = f"{machine}/{kernel}/{persona.name}/{opt}"
+                    marker = "  <-- over-predicted" if rpe < -1e-9 else ""
+                    print(f"{tag:42s} {meas:9.2f} {pred:8.2f} {rpe*100:+6.1f}% "
+                          f"{mca:8.2f} {mca_rpe*100:+6.1f}%{marker}")
+        print()
+
+    print("Notes:")
+    print(" * 'model' is the OSACA-style lower bound: RPE should be >= 0.")
+    print(" * Gauss-Seidel on GCS/armclang lands on the negative side —")
+    print("   the paper's register-renaming case, reproduced by design.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Write-allocate evasion case study (the paper's Section III).
+
+Streams a store-only (array initialization) benchmark through the cache
+hierarchy of each chip and reads the memory-controller traffic through
+the LIKWID-like counter facade, exactly as the paper measures it.
+A traffic-to-stored-data ratio of 1.0 means perfect WA evasion; 2.0
+means every store paid a read-for-ownership.
+
+Run:  python examples/wa_evasion_study.py
+"""
+
+from repro import get_chip_spec, run_store_benchmark
+from repro.simulator.counters import PerfCounters
+from repro.simulator.memory import hierarchy_for_chip
+
+
+def counter_demo(chip: str) -> None:
+    """Show the raw counter path for a single-core run."""
+    spec = get_chip_spec(chip)
+    counters = PerfCounters(spec)
+    hierarchy = hierarchy_for_chip(spec, scale=1e-4)
+    counters.attach_hierarchy(hierarchy)
+
+    n_lines, line = 4096, spec.memory.line_bytes
+    for i in range(n_lines):
+        hierarchy.store(i * line, line)
+    hierarchy.drain()
+
+    mem = counters.read("MEM")
+    stored = n_lines * line
+    print(f"  single core, {stored/1e6:.1f} MB stored: "
+          f"read {mem['read_bytes']/1e6:6.1f} MB, "
+          f"write {mem['write_bytes']/1e6:6.1f} MB  "
+          f"-> ratio {(mem['total_bytes'])/stored:.2f}")
+
+
+def scaling_study(chip: str, non_temporal: bool) -> None:
+    spec = get_chip_spec(chip)
+    label = f"{chip.upper()}{' + NT stores' if non_temporal else ''}"
+    cores = sorted({1, 2, 4, 8, spec.cores // 4, spec.cores // 2, spec.cores})
+    points = []
+    for n in cores:
+        r = run_store_benchmark(chip, n, non_temporal=non_temporal,
+                                working_set_lines=4096)
+        points.append(f"{n}c:{r.traffic_ratio:.2f}")
+    print(f"  {label:22s} " + "  ".join(points))
+
+
+def main() -> None:
+    print("Counter path (LIKWID-style MEM group):")
+    for chip in ("gcs", "spr", "genoa"):
+        counter_demo(chip)
+
+    print("\nTraffic ratio vs. active cores (Fig. 4):")
+    scaling_study("gcs", False)
+    scaling_study("spr", False)
+    scaling_study("spr", True)
+    scaling_study("genoa", False)
+    scaling_study("genoa", True)
+
+    print("""
+Reading the results:
+ * GCS claims cache lines automatically -> ~1.0 everywhere.
+ * SPR's SpecI2M engages only once a ccNUMA domain's memory interface
+   saturates, and removes at most ~25% of the write-allocates (2.0 ->
+   1.75); its NT stores keep a ~10% residual read stream.
+ * Genoa never evades automatically (2.0 flat); NT stores are the only
+   -- but fully effective -- way out (1.0).""")
+
+
+if __name__ == "__main__":
+    main()

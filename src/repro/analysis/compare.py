@@ -1,0 +1,109 @@
+"""Cross-microarchitecture comparison of one kernel.
+
+The paper's through-line is a three-way comparison; this helper runs
+one kernel through codegen → analysis → simulation on all three
+machines and lines the results up — the table a performance engineer
+wants when deciding where a loop should run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.render import ascii_table
+from ..isa import parse_kernel
+from ..kernels.codegen import generate_assembly
+from ..kernels.extended import all_kernels
+from ..kernels.personas import PERSONAS
+from ..kernels.suite import KernelSpec
+from ..machine import get_chip_spec, get_machine_model
+from ..simulator.core import CoreSimulator
+from ..simulator.frequency import FrequencyGovernor
+from .throughput import analyze_instructions
+
+_DEFAULT_PERSONA = {"golden_cove": "gcc", "zen4": "gcc", "neoverse_v2": "gcc-arm"}
+_ELEMS = {"golden_cove": {"gcc": 8, "clang": 4, "icx": 8},
+          "zen4": {"gcc": 4, "clang": 4, "icx": 4},
+          "neoverse_v2": {"gcc-arm": 2, "armclang": 2}}
+
+
+@dataclass
+class ArchComparison:
+    kernel: str
+    opt: str
+    rows: list[dict]
+
+    def best_by(self, metric: str) -> str:
+        reverse = metric in ("gflops_per_core",)
+        key = (lambda r: -r[metric]) if reverse else (lambda r: r[metric])
+        return min(self.rows, key=key)["chip"]
+
+    def render(self) -> str:
+        body = [
+            [
+                r["chip"].upper(),
+                f"{r['prediction']:.2f}",
+                f"{r['measured']:.2f}",
+                r["bottleneck"],
+                f"{r['cycles_per_element']:.3f}",
+                f"{r['gflops_per_core']:.2f}",
+            ]
+            for r in self.rows
+        ]
+        return ascii_table(
+            ["chip", "pred cy/it", "meas cy/it", "bottleneck",
+             "cy/element", "GF/s/core"],
+            body,
+            title=f"{self.kernel} at -{self.opt} across microarchitectures",
+        )
+
+
+def compare_architectures(
+    kernel: str | KernelSpec,
+    opt: str = "O2",
+    personas: dict[str, str] | None = None,
+) -> ArchComparison:
+    """Run one kernel through all three machines and collect metrics."""
+    k = kernel if isinstance(kernel, KernelSpec) else all_kernels()[kernel]
+    personas = personas or _DEFAULT_PERSONA
+    rows = []
+    for chip in ("gcs", "spr", "genoa"):
+        spec = get_chip_spec(chip)
+        uarch = spec.uarch
+        persona_name = personas.get(uarch, _DEFAULT_PERSONA[uarch])
+        p = PERSONAS[persona_name]
+        cfg = p.config(opt)
+        vec = (
+            cfg.vectorize
+            and k.vectorizable
+            and (not k.needs_fast_math or cfg.fast_math)
+        )
+        model = get_machine_model(uarch)
+        asm = generate_assembly(k, p, opt, uarch)
+        instrs = parse_kernel(asm, model.isa)
+        ana = analyze_instructions(instrs, model)
+        meas = CoreSimulator(model).run(instrs, iterations=80, warmup=25)
+        if not vec:
+            elems = 1
+        else:
+            elems = _ELEMS[uarch][persona_name] * (
+                1 if (k.uses_index or k.has_carried_dependency) else cfg.unroll
+            )
+        gov = FrequencyGovernor.for_chip(spec)
+        isa = spec.isa_classes[-1] if vec else "scalar"
+        freq = gov.sustained(1, isa if isa in spec.frequency.power_coeff else "scalar")
+        cy_elem = meas.cycles_per_iteration / elems
+        rows.append(
+            {
+                "chip": chip,
+                "prediction": ana.prediction,
+                "measured": meas.cycles_per_iteration,
+                "bottleneck": ana.bottleneck,
+                "elements_per_iteration": elems,
+                "cycles_per_element": cy_elem,
+                "gflops_per_core": k.flops_per_element / cy_elem * freq
+                if cy_elem
+                else 0.0,
+            }
+        )
+    return ArchComparison(kernel=k.name, opt=opt, rows=rows)

@@ -1,0 +1,78 @@
+"""Roofline model with an in-core (model-derived) performance ceiling.
+
+The classic Roofline uses the chip's theoretical peak as the horizontal
+ceiling.  The paper's point is that an in-core model produces a *more
+realistic* ceiling for a given kernel: the predicted cycles/iteration
+bound the achievable FLOP rate even for compute-bound code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machine import get_chip_spec
+from .throughput import AnalysisResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed under the roofline."""
+
+    arithmetic_intensity: float  #: FLOP / byte
+    performance_gflops: float  #: attainable performance
+    ceiling_gflops: float  #: in-core ceiling for this kernel
+    bandwidth_bound: bool
+
+    @property
+    def limiting_factor(self) -> str:
+        return "memory bandwidth" if self.bandwidth_bound else "in-core execution"
+
+
+@dataclass
+class RooflineModel:
+    """Roofline with kernel-specific in-core ceilings.
+
+    ``chip`` selects bandwidth and frequency data from Table I;
+    ``cores`` defaults to the full chip.
+    """
+
+    chip: str
+    cores: Optional[int] = None
+    frequency_ghz: Optional[float] = None
+
+    def ceiling_from_analysis(
+        self, analysis: AnalysisResult, flops_per_iteration: float
+    ) -> float:
+        """In-core ceiling (GFLOP/s) implied by the static analysis."""
+        spec = get_chip_spec(self.chip)
+        cores = self.cores or spec.cores
+        freq = self.frequency_ghz or spec.freq_base
+        cycles = analysis.prediction
+        if cycles <= 0:
+            return float("inf")
+        return flops_per_iteration / cycles * freq * cores
+
+    def place(
+        self,
+        analysis: AnalysisResult,
+        *,
+        flops_per_iteration: float,
+        bytes_per_iteration: float,
+    ) -> RooflinePoint:
+        """Place a kernel: attainable = min(in-core ceiling, I * BW)."""
+        spec = get_chip_spec(self.chip)
+        ceiling = self.ceiling_from_analysis(analysis, flops_per_iteration)
+        intensity = (
+            flops_per_iteration / bytes_per_iteration
+            if bytes_per_iteration
+            else float("inf")
+        )
+        bw_bound_perf = intensity * spec.memory.bw_sustained
+        performance = min(ceiling, bw_bound_perf)
+        return RooflinePoint(
+            arithmetic_intensity=intensity,
+            performance_gflops=performance,
+            ceiling_gflops=ceiling,
+            bandwidth_bound=bw_bound_perf < ceiling,
+        )

@@ -1,0 +1,168 @@
+"""Node-level scaling prediction: in-core model × frequency × bandwidth.
+
+Combines the three models the paper builds into the full-node
+prediction its introduction motivates: for a kernel on ``n`` cores,
+
+.. math::
+
+    P(n) = \\min\\bigl(n \\cdot P_{core}(f(n)),\\; I \\cdot b(n)\\bigr)
+
+where ``P_core`` comes from the static in-core prediction at the
+frequency ``f(n)`` the governor sustains for the kernel's ISA class,
+``I`` is the arithmetic intensity, and ``b(n)`` the saturating memory
+bandwidth.  This is the classic Roofline-over-cores picture, with the
+paper's contribution — the in-core model — supplying the compute term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import parse_kernel
+from ..kernels.codegen import generate_assembly
+from ..kernels.personas import CompilerPersona, PERSONAS
+from ..kernels.suite import KernelSpec
+from ..machine import get_chip_spec, get_machine_model
+from ..machine.specs import ChipSpec
+from ..simulator.frequency import FrequencyGovernor
+from ..simulator.multicore import BandwidthModel
+from .throughput import analyze_instructions
+
+#: ISA class the generated code belongs to, per (uarch, vectorized)
+_ISA_CLASS = {
+    ("golden_cove", "zmm"): "avx512",
+    ("golden_cove", "ymm"): "avx",
+    ("golden_cove", "scalar"): "scalar",
+    ("zen4", "zmm"): "avx512",
+    ("zen4", "ymm"): "avx",
+    ("zen4", "scalar"): "scalar",
+    ("neoverse_v2", "sve"): "sve",
+    ("neoverse_v2", "neon"): "neon",
+    ("neoverse_v2", "scalar"): "scalar",
+}
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    cores: int
+    frequency_ghz: float
+    compute_gflops: float
+    bandwidth_gflops: float
+
+    @property
+    def performance_gflops(self) -> float:
+        return min(self.compute_gflops, self.bandwidth_gflops)
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        return self.bandwidth_gflops < self.compute_gflops
+
+
+@dataclass
+class ScalingPrediction:
+    kernel: str
+    chip: str
+    persona: str
+    opt: str
+    isa_class: str
+    cycles_per_iteration: float
+    elements_per_iteration: int
+    points: list[ScalingPoint]
+
+    @property
+    def saturation_point(self) -> int:
+        """First core count at which the kernel is bandwidth bound."""
+        for p in self.points:
+            if p.bandwidth_bound:
+                return p.cores
+        return self.points[-1].cores + 1
+
+    def peak_gflops(self) -> float:
+        return max(p.performance_gflops for p in self.points)
+
+
+def _vector_style(persona: CompilerPersona, uarch: str, opt: str,
+                  kernel: KernelSpec) -> str:
+    cfg = persona.config(opt)
+    vec = (
+        cfg.vectorize
+        and kernel.vectorizable
+        and (not kernel.needs_fast_math or cfg.fast_math)
+    )
+    if not vec:
+        return "scalar"
+    if uarch == "neoverse_v2":
+        return persona.vector_style
+    return persona.width_for(uarch)
+
+
+def predict_scaling(
+    kernel: KernelSpec,
+    chip: str | ChipSpec,
+    persona: str = "gcc",
+    opt: str = "O2",
+    core_counts: list[int] | None = None,
+) -> ScalingPrediction:
+    """Predict kernel GFLOP/s across core counts on one chip."""
+    spec = chip if isinstance(chip, ChipSpec) else get_chip_spec(chip)
+    uarch = spec.uarch
+    p = PERSONAS[persona] if isinstance(persona, str) else persona
+    if uarch == "neoverse_v2" and p.isa != "aarch64":
+        # map the default x86 persona to its Arm sibling
+        p = PERSONAS["gcc-arm" if p.name == "gcc" else "armclang"]
+    elif uarch != "neoverse_v2" and p.isa != "x86":
+        p = PERSONAS["gcc" if p.name == "gcc-arm" else "clang"]
+
+    asm = generate_assembly(kernel, p, opt, uarch)
+    model = get_machine_model(uarch)
+    instrs = parse_kernel(asm, model.isa)
+    ana = analyze_instructions(instrs, model)
+
+    style = _vector_style(p, uarch, opt, kernel)
+    isa_class = _ISA_CLASS[(uarch, style)]
+    elems = {"zmm": 8, "ymm": 4, "sve": 2, "neon": 2, "scalar": 1}[style]
+    # account for unrolling: elements per iteration scale with stores/loads
+    unroll = max(1, p.config(opt).unroll if style != "scalar" else 1)
+    if not kernel.uses_index and not kernel.has_carried_dependency:
+        elems *= unroll
+
+    flops_iter = kernel.flops_per_element * elems
+    bytes_iter = kernel.bytes_per_element * elems
+    intensity = flops_iter / bytes_iter if bytes_iter else float("inf")
+
+    gov = FrequencyGovernor.for_chip(spec)
+    bw = BandwidthModel.for_chip(spec)
+    domains = spec.memory.ccnuma_domains
+    cpd = spec.cores // domains
+
+    counts = core_counts or sorted(
+        {1, 2, 4, 8, cpd, spec.cores // 4, spec.cores // 2, spec.cores}
+    )
+    points = []
+    for n in counts:
+        if not 1 <= n <= spec.cores:
+            continue
+        f = gov.sustained(n, isa_class)
+        compute = n * flops_iter / ana.prediction * f
+        # bandwidth across the domains the n cores span
+        full, rest = divmod(n, cpd)
+        total_bw = full * bw.achieved(cpd) + (bw.achieved(rest) if rest else 0.0)
+        bandwidth = intensity * total_bw
+        points.append(
+            ScalingPoint(
+                cores=n,
+                frequency_ghz=f,
+                compute_gflops=compute,
+                bandwidth_gflops=bandwidth,
+            )
+        )
+    return ScalingPrediction(
+        kernel=kernel.name,
+        chip=spec.chip,
+        persona=p.name,
+        opt=opt,
+        isa_class=isa_class,
+        cycles_per_iteration=ana.prediction,
+        elements_per_iteration=elems,
+        points=points,
+    )

@@ -1,0 +1,73 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+================  ===========================================  ==========
+experiment        what it reproduces                           module
+================  ===========================================  ==========
+``table1``        node feature comparison + measured BW/peak   :mod:`.table1`
+``table2``        in-core port-model comparison                :mod:`.table2`
+``table3``        instruction throughput/latency µbenchmarks   :mod:`.table3`
+``fig1``          Neoverse V2 port diagram                     :mod:`.fig1`
+``fig2``          sustained frequency vs. cores per ISA        :mod:`.fig2`
+``fig3``          RPE histograms: our model vs LLVM-MCA        :mod:`.fig3`
+``fig4``          write-allocate evasion traffic ratios        :mod:`.fig4`
+================  ===========================================  ==========
+
+Each module exposes ``run()`` (structured results) and ``render()``
+(the ASCII table/plot printed by ``repro-bench``), plus a
+``PAPER_REFERENCE`` constant recording the published values the
+reproduction is compared against.
+"""
+
+from types import SimpleNamespace
+
+from . import extensions, fig1, fig2, fig3, fig4, instr_table, table1, table2, table3
+from .microbench import run_microbenchmarks
+from .render import ascii_histogram, ascii_series, ascii_table
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "ext_energy": SimpleNamespace(
+        run=extensions.run_energy, render=extensions.render_energy
+    ),
+    "ext_scaling": SimpleNamespace(
+        run=extensions.run_scaling, render=extensions.render_scaling
+    ),
+    "ext_topdown": SimpleNamespace(
+        run=extensions.run_topdown, render=extensions.render_topdown
+    ),
+    "instr_table": instr_table,
+}
+
+
+def render_experiment(name: str) -> str:
+    """Render one experiment by name (``table1`` … ``fig4``)."""
+    try:
+        mod = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return mod.render()
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "render_experiment",
+    "run_microbenchmarks",
+    "ascii_table",
+    "ascii_histogram",
+    "ascii_series",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+]

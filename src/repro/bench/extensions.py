@@ -1,0 +1,151 @@
+"""Extension studies beyond the paper's tables and figures.
+
+Three experiments the paper's data makes possible but does not print:
+
+* **ext_energy** — DP FLOP/s per watt at the sustained operating point
+  (TDP is in Table I; the frequency model supplies the power draw).
+* **ext_scaling** — node-level GFLOP/s crossovers between the three
+  chips for representative kernel classes.
+* **ext_topdown** — top-down cycle attribution for one kernel of each
+  bottleneck class on each core.
+
+Available through ``repro-bench ext_energy`` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.scaling import predict_scaling
+from ..analysis.topdown import analyze_topdown
+from ..kernels import generate_assembly
+from ..kernels.extended import all_kernels
+from ..machine import get_chip_spec, get_machine_model
+from ..simulator.frequency import FrequencyGovernor
+from .render import ascii_table
+
+CHIPS = ("gcs", "spr", "genoa")
+
+
+# ---------------------------------------------------------------------------
+# ext_energy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EnergyRow:
+    chip: str
+    isa_class: str
+    sustained_ghz: float
+    package_watts: float
+    achievable_gflops: float
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.achievable_gflops / self.package_watts
+
+
+def run_energy() -> list[EnergyRow]:
+    rows = []
+    for chip in CHIPS:
+        spec = get_chip_spec(chip)
+        gov = FrequencyGovernor.for_chip(spec)
+        isa = gov._widest_isa()
+        f = gov.sustained(spec.cores, isa)
+        rows.append(
+            EnergyRow(
+                chip=chip,
+                isa_class=isa,
+                sustained_ghz=f,
+                package_watts=gov.package_power(spec.cores, isa),
+                achievable_gflops=spec.cores * f * spec.dp_flops_per_cycle,
+            )
+        )
+    return rows
+
+
+def render_energy(rows: list[EnergyRow] | None = None) -> str:
+    rows = rows or run_energy()
+    body = [
+        [
+            r.chip.upper(),
+            r.isa_class,
+            f"{r.sustained_ghz:.2f}",
+            f"{r.package_watts:.0f}",
+            f"{r.achievable_gflops:.0f}",
+            f"{r.gflops_per_watt:.1f}",
+        ]
+        for r in rows
+    ]
+    return ascii_table(
+        ["chip", "ISA", "GHz", "W", "GFlop/s", "GFlop/s/W"],
+        body,
+        title="Extension — energy efficiency at the vector-sustained "
+              "operating point",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ext_scaling
+# ---------------------------------------------------------------------------
+
+SCALING_CASES = (("striad", "O2"), ("j3d7pt", "O3"), ("pi", "Ofast"),
+                 ("horner8", "O2"))
+
+
+def run_scaling() -> dict[str, dict[str, float]]:
+    kernels = all_kernels()
+    out: dict[str, dict[str, float]] = {}
+    for name, opt in SCALING_CASES:
+        out[name] = {
+            chip: predict_scaling(kernels[name], chip, opt=opt)
+            .points[-1].performance_gflops
+            for chip in CHIPS
+        }
+    return out
+
+
+def render_scaling(result: dict[str, dict[str, float]] | None = None) -> str:
+    result = result or run_scaling()
+    body = []
+    for name, perf in result.items():
+        winner = max(perf, key=perf.get)
+        body.append(
+            [name]
+            + [f"{perf[c]:.0f}" for c in CHIPS]
+            + [winner.upper()]
+        )
+    return ascii_table(
+        ["kernel", *[c.upper() + " GF/s" for c in CHIPS], "winner"],
+        body,
+        title="Extension — full-socket kernel performance crossovers",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ext_topdown
+# ---------------------------------------------------------------------------
+
+TOPDOWN_CASES = (("striad", "O2"), ("sum", "O1"), ("pi", "O2"))
+
+
+def run_topdown() -> list[tuple[str, str, str, float]]:
+    out = []
+    kernels = all_kernels()
+    for chip in CHIPS:
+        spec = get_chip_spec(chip)
+        for name, opt in TOPDOWN_CASES:
+            persona = "gcc-arm" if spec.uarch == "neoverse_v2" else "gcc"
+            asm = generate_assembly(kernels[name], persona, opt, spec.uarch)
+            r = analyze_topdown(asm, get_machine_model(spec.uarch), iterations=80)
+            out.append((chip, name, r.dominant, r.cycles_per_iteration))
+    return out
+
+
+def render_topdown(rows: list[tuple[str, str, str, float]] | None = None) -> str:
+    rows = rows or run_topdown()
+    body = [[c, k, d, f"{cy:.2f}"] for c, k, d, cy in rows]
+    return ascii_table(
+        ["chip", "kernel", "dominant limiter", "cy/iter"],
+        body,
+        title="Extension — top-down cycle attribution",
+    )

@@ -1,0 +1,73 @@
+"""Fig. 1 — Neoverse V2 core block diagram (ASCII rendering).
+
+The paper's figure is a port diagram compiled from Arm's Software
+Optimization Guide; here it is rendered from the machine model so the
+diagram can never drift from the data the analyzer actually uses.
+"""
+
+from __future__ import annotations
+
+from ..machine import get_machine_model
+from ..machine.model import MachineModel
+
+_PORT_DESCRIPTIONS = {
+    "neoverse_v2": {
+        "b": "branch",
+        "i": "int ALU (single-cycle)",
+        "m": "int multi-cycle (MUL/MADD/DIV)",
+        "v": "FP/ASIMD/SVE 128-bit",
+        "l": "load AGU (16 B/cy)",
+        "sa": "store (16 B/cy)",
+    },
+    "golden_cove": {
+        "0": "int ALU / shift / branch / FP FMA+ADD+MUL / divide",
+        "1": "int ALU / MUL / LEA / FP FMA+ADD+MUL (<=256b)",
+        "2": "load AGU (64 B)",
+        "3": "load AGU (64 B)",
+        "4": "store data (32 B)",
+        "5": "int ALU / shuffle / FP FMA+ADD+MUL (512-bit pair)",
+        "6": "int ALU / shift / branch",
+        "7": "store AGU",
+        "8": "store AGU",
+        "9": "store data (32 B)",
+        "10": "int ALU",
+        "11": "load AGU (<=32 B)",
+    },
+    "zen4": {
+        "alu": "int ALU",
+        "agu": "AGU (agu0/1 load, agu2 store)",
+        "fp": "FP 256-bit (fp0/1 MUL+FMA, fp2/3 ADD)",
+        "br": "branch",
+    },
+}
+
+
+def render(uarch: str = "neoverse_v2") -> str:
+    model = get_machine_model(uarch)
+    desc = _PORT_DESCRIPTIONS.get(model.name, {})
+    lines = [
+        f"Fig. 1 — {model.name} port model ({len(model.ports)} ports)",
+        "=" * 60,
+        model.description,
+        "",
+        "  scheduler",
+    ]
+    for p in model.ports:
+        key = p
+        if key not in desc:
+            key = "".join(c for c in p if not c.isdigit())
+        what = desc.get(key, "")
+        lines.append(f"    |-- port {p:<4} {what}")
+    lines += [
+        "",
+        f"  dispatch width: {model.dispatch_width} µops/cy"
+        f"   ROB: {model.rob_size}   scheduler: {model.scheduler_size}",
+        f"  L1 load-to-use: {model.load_latency_gpr:.0f} cy (int) / "
+        f"{model.load_latency_vec:.0f} cy (vector)",
+        f"  instruction table: {len(model.entries)} entries",
+    ]
+    return "\n".join(lines)
+
+
+def run() -> MachineModel:
+    return get_machine_model("neoverse_v2")

@@ -1,0 +1,67 @@
+"""Fig. 2 — sustained clock frequency vs. active cores per ISA class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import get_chip_spec
+from ..simulator.frequency import FrequencyGovernor
+from .render import ascii_series
+
+CHIPS = ("gcs", "spr", "genoa")
+
+#: the paper's qualitative endpoints: (chip, isa) -> full-socket GHz
+PAPER_REFERENCE = {
+    ("gcs", "sve"): 3.4,
+    ("gcs", "neon"): 3.4,
+    ("gcs", "scalar"): 3.4,
+    ("spr", "avx512"): 2.0,
+    ("spr", "avx"): 3.0,
+    ("spr", "sse"): 3.0,
+    ("genoa", "avx512"): 3.1,
+    ("genoa", "avx"): 3.1,
+    ("genoa", "sse"): 3.1,
+}
+
+
+@dataclass
+class Fig2Series:
+    chip: str
+    isa_class: str
+    points: list[tuple[int, float]]  #: (active cores, GHz)
+
+    @property
+    def full_socket_ghz(self) -> float:
+        return self.points[-1][1]
+
+
+def run() -> list[Fig2Series]:
+    out = []
+    for chip in CHIPS:
+        spec = get_chip_spec(chip)
+        gov = FrequencyGovernor.for_chip(spec)
+        for isa in spec.isa_classes:
+            out.append(Fig2Series(chip, isa, gov.curve(isa)))
+    return out
+
+
+def render(series: list[Fig2Series] | None = None) -> str:
+    series = series or run()
+    blocks = []
+    for chip in CHIPS:
+        sel = {s.isa_class: s.points for s in series if s.chip == chip}
+        blocks.append(
+            ascii_series(
+                sel,
+                title=f"Fig. 2 ({chip.upper()}) — sustained frequency [GHz] "
+                      f"vs active cores",
+                x_label="active cores",
+            )
+        )
+        refs = ", ".join(
+            f"{isa}: {PAPER_REFERENCE[(chip, isa)]:.1f} GHz"
+            for isa in sel
+            if (chip, isa) in PAPER_REFERENCE
+        )
+        blocks.append(f"  paper full-socket endpoints: {refs}\n")
+    return "\n".join(blocks)

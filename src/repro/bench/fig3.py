@@ -1,0 +1,204 @@
+"""Fig. 3 — relative prediction error of the 416-test validation corpus.
+
+For every corpus entry, three numbers are produced:
+
+* **measurement** — cycles/iteration on the cycle-level core simulator
+  (the hardware stand-in),
+* **our model** — the OSACA-style static lower bound,
+* **MCA baseline** — the LLVM-MCA-style prediction on generic data.
+
+The relative prediction error is ``RPE = (meas − pred) / meas``:
+positive (right of the zero line) means the prediction is *faster* than
+the measurement — the desired side for a lower-bound model.  The
+histogram uses the paper's 10 % buckets with an underflow bin for
+predictions more than 2× too slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import analyze_instructions
+from ..isa import parse_kernel
+from ..kernels import enumerate_corpus
+from ..kernels.corpus import CorpusEntry, unique_assembly_count
+from ..machine import get_machine_model
+from ..mca import MCASimulator
+from ..simulator.core import CoreSimulator
+from .render import ascii_histogram
+
+#: the paper's headline statistics for Fig. 3
+PAPER_REFERENCE = {
+    "osaca_right_side_fraction": 0.96,
+    "osaca_within_10pct": 0.37,
+    "osaca_within_20pct": 0.44,
+    "osaca_off_by_2x": 1,
+    "mca_slower_fraction": 0.75,
+    "mca_off_by_2x": 14,
+    "tests": 416,
+    "unique_assembly": 290,
+    "avg_right_rpe_osaca": {"golden_cove": 0.24, "neoverse_v2": 0.30, "zen4": 0.18},
+    "avg_right_rpe_mca": {"golden_cove": 0.38, "neoverse_v2": 0.34, "zen4": 0.20},
+    "global_rpe_osaca": {"golden_cove": 0.30, "neoverse_v2": 0.26, "zen4": 0.18},
+    "global_rpe_mca": {"golden_cove": 0.35, "neoverse_v2": 0.52, "zen4": 0.16},
+}
+
+
+@dataclass
+class Fig3Record:
+    entry: CorpusEntry
+    measurement: float
+    prediction_osaca: float
+    prediction_mca: float
+
+    @property
+    def rpe_osaca(self) -> float:
+        return (self.measurement - self.prediction_osaca) / self.measurement
+
+    @property
+    def rpe_mca(self) -> float:
+        return (self.measurement - self.prediction_mca) / self.measurement
+
+
+@dataclass
+class Fig3Result:
+    records: list[Fig3Record]
+    unique_assembly: int
+
+    def _arr(self, which: str) -> np.ndarray:
+        return np.array([getattr(r, f"rpe_{which}") for r in self.records])
+
+    def summary(self, which: str) -> dict:
+        x = self._arr(which)
+        right = x >= -1e-9
+        return {
+            "tests": int(x.size),
+            "right_side_fraction": float(np.mean(right)),
+            "within_10pct": float(np.mean(right & (x < 0.1))),
+            "within_20pct": float(np.mean(right & (x < 0.2))),
+            "off_by_2x": int(np.sum(x <= -1.0)),
+            "avg_right_rpe": float(np.mean(x[right])) if right.any() else 0.0,
+            "global_rpe": float(np.mean(np.abs(x))),
+        }
+
+    def per_arch_summary(self, which: str) -> dict[str, dict]:
+        out = {}
+        for uarch in ("golden_cove", "zen4", "neoverse_v2"):
+            sel = [r for r in self.records if r.entry.uarch == uarch]
+            if not sel:
+                continue
+            x = np.array([getattr(r, f"rpe_{which}") for r in sel])
+            right = x >= -1e-9
+            out[uarch] = {
+                "avg_right_rpe": float(np.mean(x[right])) if right.any() else 0.0,
+                "global_rpe": float(np.mean(np.abs(x))),
+            }
+        return out
+
+    def left_side_tests(self, which: str = "osaca") -> list[str]:
+        return [
+            r.entry.test_id
+            for r in self.records
+            if getattr(r, f"rpe_{which}") < -1e-9
+        ]
+
+    def stratified(self, by: str, which: str = "osaca") -> dict[str, dict]:
+        """Per-group RPE statistics.
+
+        ``by`` is a CorpusEntry attribute: ``"kernel"``, ``"opt"``,
+        ``"persona"``, or ``"machine"``.
+        """
+        groups: dict[str, list[float]] = {}
+        for r in self.records:
+            groups.setdefault(getattr(r.entry, by), []).append(
+                getattr(r, f"rpe_{which}")
+            )
+        out = {}
+        for key, vals in sorted(groups.items()):
+            x = np.array(vals)
+            out[key] = {
+                "n": int(x.size),
+                "mean_rpe": float(np.mean(x)),
+                "mean_abs_rpe": float(np.mean(np.abs(x))),
+                "right_side_fraction": float(np.mean(x >= -1e-9)),
+            }
+        return out
+
+
+def run(
+    machines: tuple[str, ...] = ("spr", "genoa", "gcs"),
+    kernels: tuple[str, ...] | None = None,
+    iterations: int = 100,
+    precision: str = "dp",
+) -> Fig3Result:
+    corpus = enumerate_corpus(
+        machines=machines, kernels=kernels, precision=precision
+    )
+    models = {}
+    records = []
+    for e in corpus:
+        if e.uarch not in models:
+            models[e.uarch] = get_machine_model(e.uarch)
+        m = models[e.uarch]
+        instrs = parse_kernel(e.assembly, m.isa)
+        ana = analyze_instructions(instrs, m)
+        meas = CoreSimulator(m).run(
+            instrs, iterations=iterations, warmup=max(10, iterations // 3)
+        )
+        mca = MCASimulator(m).run(
+            instrs, iterations=max(30, iterations // 2), warmup=15
+        )
+        records.append(
+            Fig3Record(
+                entry=e,
+                measurement=meas.cycles_per_iteration,
+                prediction_osaca=ana.prediction,
+                prediction_mca=mca.cycles_per_iteration,
+            )
+        )
+    return Fig3Result(records=records, unique_assembly=unique_assembly_count(corpus))
+
+
+def render(result: Fig3Result | None = None) -> str:
+    result = result or run()
+    blocks = []
+    for which, label in (("osaca", "our model (OSACA-style)"), ("mca", "LLVM-MCA baseline")):
+        values = [getattr(r, f"rpe_{which}") for r in result.records]
+        blocks.append(ascii_histogram(
+            values,
+            title=f"Fig. 3 — relative prediction error, {label} "
+                  f"(right of 0 = prediction faster than measurement)",
+        ))
+        s = result.summary(which)
+        blocks.append(
+            f"  tests={s['tests']}  right-side={s['right_side_fraction']*100:.0f}%  "
+            f"+0-10%={s['within_10pct']*100:.0f}%  +0-20%={s['within_20pct']*100:.0f}%  "
+            f"off>2x={s['off_by_2x']}  avg-right-RPE={s['avg_right_rpe']*100:.0f}%  "
+            f"global-RPE={s['global_rpe']*100:.0f}%"
+        )
+        per = result.per_arch_summary(which)
+        blocks.append(
+            "  per-arch global RPE: " + ", ".join(
+                f"{k}={v['global_rpe']*100:.0f}%" for k, v in per.items()
+            )
+        )
+        blocks.append("")
+    blocks.append(
+        f"corpus: {len(result.records)} tests, {result.unique_assembly} unique "
+        f"assembly representations (paper: 416 / 290)"
+    )
+    blocks.append("")
+    blocks.append("per-kernel mean |RPE| (our model):")
+    for kernel, s in result.stratified("kernel").items():
+        blocks.append(
+            f"  {kernel:10s} n={s['n']:3d}  |RPE|={s['mean_abs_rpe']*100:5.1f}%  "
+            f"right-side={s['right_side_fraction']*100:3.0f}%"
+        )
+    left = result.left_side_tests("osaca")
+    if left:
+        blocks.append("our-model over-predictions (left of zero):")
+        for t in sorted(set(left)):
+            blocks.append(f"  {t}")
+    return "\n".join(blocks)

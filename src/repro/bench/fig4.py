@@ -1,0 +1,81 @@
+"""Fig. 4 — write-allocate evasion: memory traffic ratio vs. cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import get_chip_spec
+from ..simulator.multicore import StoreBenchmarkResult, run_store_benchmark
+from .render import ascii_series
+
+#: the paper's qualitative targets: traffic ratio at full socket
+PAPER_REFERENCE = {
+    ("gcs", False): 1.0,     # automatic cache-line claim, next-to-optimal
+    ("spr", False): 1.75,    # SpecI2M removes <= 25% once saturated
+    ("spr", True): 1.10,     # NT stores keep ~10% residual reads
+    ("genoa", False): 2.0,   # no automatic WA evasion
+    ("genoa", True): 1.0,    # NT stores are fully effective
+}
+
+#: (chip, use NT stores) series shown in the paper
+SERIES = [("gcs", False), ("spr", False), ("spr", True),
+          ("genoa", False), ("genoa", True)]
+
+
+@dataclass
+class Fig4Series:
+    chip: str
+    non_temporal: bool
+    points: list[StoreBenchmarkResult]
+
+    @property
+    def label(self) -> str:
+        return f"{self.chip}{' NT' if self.non_temporal else ''}"
+
+    @property
+    def full_socket_ratio(self) -> float:
+        return self.points[-1].traffic_ratio
+
+
+def _core_counts(total: int, n_points: int = 14) -> list[int]:
+    step = max(1, total // n_points)
+    counts = list(range(1, total + 1, step))
+    if counts[-1] != total:
+        counts.append(total)
+    return counts
+
+
+def run(n_points: int = 14, working_set_lines: int = 4096) -> list[Fig4Series]:
+    out = []
+    for chip, nt in SERIES:
+        spec = get_chip_spec(chip)
+        pts = [
+            run_store_benchmark(
+                chip, n, non_temporal=nt, working_set_lines=working_set_lines
+            )
+            for n in _core_counts(spec.cores, n_points)
+        ]
+        out.append(Fig4Series(chip=chip, non_temporal=nt, points=pts))
+    return out
+
+
+def render(series: list[Fig4Series] | None = None) -> str:
+    series = series or run()
+    plot = {
+        s.label: [(p.cores, p.traffic_ratio) for p in s.points] for s in series
+    }
+    text = ascii_series(
+        plot,
+        title="Fig. 4 — memory traffic / stored data vs. cores "
+              "(store-only kernel; 1.0 = perfect WA evasion, 2.0 = full WA)",
+        x_label="cores",
+        height=18,
+    )
+    lines = [text, ""]
+    for s in series:
+        ref = PAPER_REFERENCE[(s.chip, s.non_temporal)]
+        lines.append(
+            f"  {s.label:10s} full-socket ratio {s.full_socket_ratio:.2f}"
+            f"  (paper: {ref:.2f})"
+        )
+    return "\n".join(lines)

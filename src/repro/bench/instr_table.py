@@ -1,0 +1,123 @@
+"""uops.info-style instruction reference tables.
+
+The paper's models are built from microbenchmarks "for every
+interesting instruction".  This experiment turns that around: sweep the
+machine-model tables, measure each benchable entry on the simulator
+(ibench style), and emit the reference table a hardware characterization
+effort would publish — mnemonic, form, candidate ports, measured
+reciprocal throughput, measured latency, and the model's own resource
+bound as a cross-check.
+
+``repro-bench instr_table`` prints a sampled table per
+microarchitecture; :func:`run` with ``sample_every=1`` produces the
+complete reference (a few minutes), and :func:`to_csv` exports it.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machine import available_models, get_machine_model
+from .ibench import UnbenchableEntry, measure_entry
+from .render import ascii_table
+
+
+@dataclass
+class InstrRow:
+    uarch: str
+    mnemonic: str
+    signature: str
+    ports: str
+    latency_model: float
+    reciprocal_throughput: float
+    latency_measured: Optional[float]
+    divider: float
+    serial_cap: Optional[float]
+
+
+def run(
+    uarchs: tuple[str, ...] | None = None,
+    sample_every: int = 9,
+    max_rows_per_arch: int = 60,
+) -> list[InstrRow]:
+    """Measure a sample of each model's entries."""
+    rows: list[InstrRow] = []
+    for name in uarchs or tuple(available_models()):
+        model = get_machine_model(name)
+        count = 0
+        for k, entry in enumerate(model.entries):
+            if k % sample_every:
+                continue
+            if count >= max_rows_per_arch:
+                break
+            try:
+                r = measure_entry(model, entry, instances=8, iterations=60)
+            except UnbenchableEntry:
+                continue
+            ports = " ".join(
+                "|".join(u.ports) + (f"*{u.cycles:g}" if u.cycles != 1.0 else "")
+                for u in entry.uops
+            ) or "-"
+            rows.append(
+                InstrRow(
+                    uarch=name,
+                    mnemonic=entry.mnemonic,
+                    signature=entry.signature,
+                    ports=ports,
+                    latency_model=entry.latency,
+                    reciprocal_throughput=r.reciprocal_throughput,
+                    latency_measured=r.latency,
+                    divider=entry.divider,
+                    serial_cap=entry.throughput,
+                )
+            )
+            count += 1
+    return rows
+
+
+def render(rows: list[InstrRow] | None = None) -> str:
+    rows = rows or run()
+    blocks = []
+    for uarch in dict.fromkeys(r.uarch for r in rows):
+        sel = [r for r in rows if r.uarch == uarch]
+        body = [
+            [
+                r.mnemonic,
+                r.signature,
+                r.ports,
+                f"{r.reciprocal_throughput:.2f}",
+                f"{r.latency_measured:.0f}" if r.latency_measured else "-",
+                f"{r.latency_model:.0f}",
+                f"{r.divider:g}" if r.divider else "-",
+            ]
+            for r in sel
+        ]
+        blocks.append(
+            ascii_table(
+                ["mnemonic", "form", "ports", "1/tput", "lat", "lat(model)", "div"],
+                body,
+                title=f"Instruction reference (sampled) — {uarch}",
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def to_csv(rows: list[InstrRow]) -> str:
+    """Export rows as CSV (uops.info-style appendix)."""
+    out = io.StringIO()
+    out.write(
+        "uarch,mnemonic,signature,ports,reciprocal_throughput,"
+        "latency_measured,latency_model,divider,serial_cap\n"
+    )
+    for r in rows:
+        lat = f"{r.latency_measured:.3g}" if r.latency_measured is not None else ""
+        cap = f"{r.serial_cap:.3g}" if r.serial_cap is not None else ""
+        out.write(
+            f"{r.uarch},{r.mnemonic},\"{r.signature}\",\"{r.ports}\","
+            f"{r.reciprocal_throughput:.4g},{lat},{r.latency_model:.3g},"
+            f"{r.divider:g},{cap}\n"
+        )
+    return out.getvalue()

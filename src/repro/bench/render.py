@@ -1,0 +1,108 @@
+"""ASCII rendering helpers for tables, histograms, and line series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    rows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(r)))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bucket: float = 0.1,
+    lo: float = -1.0,
+    hi: float = 1.0,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Bucketized histogram in the style of the paper's Fig. 3.
+
+    Values below ``lo`` collect in the leftmost bucket (the paper's
+    "off by more than a factor of 2" bin).  Bars right of the zero line
+    are predictions *faster* than the measurement.
+    """
+    n_buckets = int(round((hi - lo) / bucket))
+    counts = [0] * (n_buckets + 1)  # +1 for the underflow bin
+    for v in values:
+        if v < lo:
+            counts[0] += 1
+        else:
+            idx = min(int((v - lo) / bucket), n_buckets - 1) + 1
+            counts[idx] += 1
+    peak = max(counts) or 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'bucket':>16} {'count':>5}")
+    label = f"< {lo:+.1f}"
+    bar = "#" * int(round(counts[0] / peak * width))
+    lines.append(f"{label:>16} {counts[0]:>5} {bar}")
+    for k in range(n_buckets):
+        b_lo = lo + k * bucket
+        b_hi = b_lo + bucket
+        label = f"{b_lo:+.1f}..{b_hi:+.1f}"
+        marker = " <-- 0" if abs(b_lo) < 1e-9 else ""
+        bar = "#" * int(round(counts[k + 1] / peak * width))
+        lines.append(f"{label:>16} {counts[k + 1]:>5} {bar}{marker}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII chart."""
+    symbols = "ox+*#@%&"
+    all_x = [p[0] for pts in series.values() for p in pts]
+    all_y = [p[1] for pts in series.values() for p in pts]
+    if not all_x:
+        return "(empty plot)"
+    x0, x1 = min(all_x), max(all_x)
+    y0, y1 = min(all_y), max(all_y)
+    if x1 == x0:
+        x1 = x0 + 1
+    pad = (y1 - y0) * 0.05 or max(abs(y1), 1.0) * 0.05
+    y0, y1 = y0 - pad, y1 + pad
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        sym = symbols[si % len(symbols)]
+        for x, y in pts:
+            cx = int((x - x0) / (x1 - x0) * (width - 1))
+            cy = int((y - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - cy][cx] = sym
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y1 - (y1 - y0) * i / (height - 1)
+        lines.append(f"{y_val:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x0:<10.0f}{x_label:^{max(0, width - 20)}}{x1:>10.0f}")
+    legend = "   ".join(
+        f"{symbols[i % len(symbols)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Table I — node feature comparison with measured bandwidth & peak.
+
+Spec rows come from the chip database; the two *measured* rows are
+produced by the models: achievable DP peak from the frequency governor
+(full-socket sustained frequency × FLOPs/cycle) and sustained memory
+bandwidth from the saturation model with all cores streaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import get_chip_spec
+from ..simulator.frequency import FrequencyGovernor
+from ..simulator.multicore import measured_socket_bandwidth
+from .render import ascii_table
+
+CHIPS = ("gcs", "spr", "genoa")
+
+#: the paper's Table I reference values for the measured quantities
+PAPER_REFERENCE = {
+    "gcs": {"achievable_peak_tflops": 3.82, "bw_measured": 467.0},
+    "spr": {"achievable_peak_tflops": 3.49, "bw_measured": 273.0},
+    "genoa": {"achievable_peak_tflops": 5.1, "bw_measured": 360.0},
+}
+
+
+@dataclass
+class Table1Row:
+    chip: str
+    cores: int
+    freq_max: float
+    freq_base: float
+    theor_peak_tflops: float
+    achievable_peak_tflops: float
+    tdp: float
+    l1_kb: float
+    l2_mb: float
+    l3_mb: float
+    bw_theoretical: float
+    bw_measured: float
+    ccnuma_domains: int
+
+
+def run() -> list[Table1Row]:
+    rows = []
+    for chip in CHIPS:
+        spec = get_chip_spec(chip)
+        gov = FrequencyGovernor.for_chip(spec)
+        rows.append(
+            Table1Row(
+                chip=chip,
+                cores=spec.cores,
+                freq_max=spec.freq_max,
+                freq_base=spec.freq_base,
+                theor_peak_tflops=spec.theoretical_peak_tflops,
+                achievable_peak_tflops=gov.achievable_peak_tflops(spec),
+                tdp=spec.tdp,
+                l1_kb=spec.memory.l1_bytes / 1024,
+                l2_mb=spec.memory.l2_bytes / 1024 ** 2,
+                l3_mb=spec.memory.l3_bytes / 1024 ** 2,
+                bw_theoretical=spec.memory.bw_theoretical,
+                bw_measured=measured_socket_bandwidth(spec),
+                ccnuma_domains=spec.memory.ccnuma_domains,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table1Row] | None = None) -> str:
+    rows = rows or run()
+    headers = ["", *[r.chip.upper() for r in rows]]
+    def line(label, fmt, attr):
+        return [label] + [format(getattr(r, attr), fmt) for r in rows]
+    body = [
+        line("Cores", "d", "cores"),
+        line("Frequency max [GHz]", ".1f", "freq_max"),
+        line("Frequency base [GHz]", ".2f", "freq_base"),
+        line("Theor. DP peak [TFlop/s]", ".2f", "theor_peak_tflops"),
+        line("Achiev. DP peak [TFlop/s]", ".2f", "achievable_peak_tflops"),
+        line("TDP [W]", ".0f", "tdp"),
+        line("L1 [KiB]", ".0f", "l1_kb"),
+        line("L2 [MiB]", ".0f", "l2_mb"),
+        line("L3 [MiB]", ".0f", "l3_mb"),
+        line("Max mem BW theor. [GB/s]", ".0f", "bw_theoretical"),
+        line("Mem BW measured [GB/s]", ".0f", "bw_measured"),
+        line("ccNUMA domains", "d", "ccnuma_domains"),
+    ]
+    return ascii_table(headers, body, title="Table I — node feature comparison")

@@ -1,0 +1,69 @@
+"""Table II — in-core feature and port-model comparison.
+
+Every value is *derived from the machine models* (not restated), so the
+table doubles as a consistency check of the model data files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import get_machine_model
+from .render import ascii_table
+
+UARCHS = ("neoverse_v2", "golden_cove", "zen4")
+
+#: the paper's Table II values
+PAPER_REFERENCE = {
+    "neoverse_v2": {"ports": 17, "simd_bytes": 16, "int_units": 6,
+                    "fp_units": 4, "loads": (3, 16), "stores": (2, 16)},
+    "golden_cove": {"ports": 12, "simd_bytes": 64, "int_units": 5,
+                    "fp_units": 3, "loads": (2, 64), "stores": (2, 32)},
+    "zen4": {"ports": 13, "simd_bytes": 32, "int_units": 4,
+             "fp_units": 4, "loads": (2, 32), "stores": (1, 32)},
+}
+
+
+@dataclass
+class Table2Row:
+    uarch: str
+    ports: int
+    simd_bytes: int
+    int_units: int
+    fp_units: int
+    loads_per_cycle: tuple[int, int]  #: (count, bytes each)
+    stores_per_cycle: tuple[int, int]
+
+
+def run() -> list[Table2Row]:
+    rows = []
+    for name in UARCHS:
+        m = get_machine_model(name)
+        load_ports = m.load_ports_wide or m.load_ports
+        store_count = len(m.store_data_ports or m.store_agu_ports)
+        rows.append(
+            Table2Row(
+                uarch=name,
+                ports=len(m.ports),
+                simd_bytes=m.simd_width_bytes,
+                int_units=len(m.int_alu_ports),
+                fp_units=len(m.fp_ports),
+                loads_per_cycle=(len(load_ports), m.load_width_bytes),
+                stores_per_cycle=(store_count, m.store_width_bytes),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table2Row] | None = None) -> str:
+    rows = rows or run()
+    headers = ["", *[r.uarch for r in rows]]
+    body = [
+        ["Number of ports"] + [str(r.ports) for r in rows],
+        ["SIMD width [B]"] + [str(r.simd_bytes) for r in rows],
+        ["Int units"] + [str(r.int_units) for r in rows],
+        ["FP vector units"] + [str(r.fp_units) for r in rows],
+        ["Loads/cy"] + [f"{r.loads_per_cycle[0]} x {r.loads_per_cycle[1]} B" for r in rows],
+        ["Stores/cy"] + [f"{r.stores_per_cycle[0]} x {r.stores_per_cycle[1]} B" for r in rows],
+    ]
+    return ascii_table(headers, body, title="Table II — in-core features (derived from models)")

@@ -1,0 +1,190 @@
+"""Command-line entry points.
+
+``repro-analyze``
+    OSACA-style static analysis of an assembly file::
+
+        repro-analyze loop.s --arch zen4
+        repro-analyze loop.s --arch grace --compare   # + simulator + MCA
+
+``repro-bench``
+    Regenerate the paper's tables and figures::
+
+        repro-bench table3
+        repro-bench fig4
+        repro-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    from .analysis import analyze_kernel
+    from .machine import available_models
+
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="OSACA-style in-core analysis of an assembly loop body",
+    )
+    parser.add_argument("file", help="assembly file (AT&T x86-64 or AArch64); '-' for stdin")
+    parser.add_argument(
+        "--arch",
+        required=True,
+        help=f"machine model or chip alias ({', '.join(available_models())}, "
+             "spr, genoa, grace, ...)",
+    )
+    parser.add_argument(
+        "--heuristic",
+        action="store_true",
+        help="use the OSACA equal-split port binding instead of the exact LP",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the core simulator (measurement) and the MCA baseline",
+    )
+    parser.add_argument(
+        "--whole-file",
+        action="store_true",
+        help="analyze the input verbatim instead of extracting the "
+             "marked/innermost loop",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render an llvm-mca-style pipeline timeline of the first "
+             "iterations on the core simulator",
+    )
+    args = parser.parse_args(argv)
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    if not args.whole_file:
+        from .isa.markers import extract_kernel
+        from .machine import get_machine_model
+
+        isa = get_machine_model(args.arch).isa
+        extracted = extract_kernel(source, isa)
+        if extracted.method != "whole":
+            print(
+                f"[extracted loop body: lines {extracted.start_line}-"
+                f"{extracted.end_line} via {extracted.method}]"
+            )
+        source = extracted.source
+    result = analyze_kernel(source, args.arch, optimal_binding=not args.heuristic)
+    print(result.report())
+
+    if args.timeline:
+        from .simulator.timeline import timeline
+
+        print()
+        print("Pipeline timeline (core simulator, first 3 iterations):")
+        print(timeline(source, args.arch, iterations=3))
+
+    if args.compare:
+        from .mca import mca_predict
+        from .simulator import simulate_kernel
+
+        meas = simulate_kernel(source, args.arch)
+        mca = mca_predict(source, args.arch)
+        print()
+        print(f"Simulated measurement:      {meas.cycles_per_iteration:8.2f} cy/iter")
+        print(f"MCA baseline prediction:    {mca.cycles_per_iteration:8.2f} cy/iter")
+        rpe = (
+            (meas.cycles_per_iteration - result.prediction)
+            / meas.cycles_per_iteration
+        )
+        print(f"Relative prediction error:  {rpe*100:+8.1f} %")
+    return 0
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    from .bench import EXPERIMENTS, render_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        help=f"experiment name(s): {', '.join(EXPERIMENTS)}, 'verify', or 'all'",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally dump the structured results of all named "
+             "experiments as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    collected: dict[str, object] = {}
+    for name in names:
+        if name == "verify":
+            _run_verify()
+            continue
+        if name == "report":
+            from .bench.report import generate_report
+
+            summary = generate_report()
+            print(
+                f"report written to {summary['path']}: "
+                f"{summary['passed']}/{summary['total']} acceptance "
+                f"criteria pass ({summary['seconds']:.0f} s)"
+            )
+            continue
+        print(render_experiment(name))
+        print()
+        if args.json:
+            collected[name] = EXPERIMENTS[name].run()
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(_jsonable(collected), fh, indent=1)
+        print(f"[structured results written to {args.json}]")
+    return 0
+
+
+def _jsonable(obj):
+    """Recursively convert dataclasses/tuples to JSON-safe structures."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def _run_verify() -> None:
+    """Model self-check: measure a sample of every entry (ibench-style)
+    and flag data inconsistencies."""
+    from .bench.ibench import verify_model
+    from .machine import available_models, get_machine_model
+
+    for name in available_models():
+        model = get_machine_model(name)
+        report = verify_model(model, sample_every=7)
+        status = "OK" if not report["violations"] else "INCONSISTENT"
+        print(
+            f"{name:14s} checked {report['checked']:4d} entries "
+            f"(skipped {report['skipped']}): {status}"
+        )
+        for v in report["violations"]:
+            print(f"    VIOLATION: {v}")
+        for s in report["interference"][:5]:
+            print(f"    note (slower than bound, likely chain-bound): {s}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(analyze_main())

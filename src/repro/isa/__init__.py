@@ -1,0 +1,89 @@
+"""Instruction-set layer: operands, registers, instruction IR, and parsers.
+
+This subpackage provides everything needed to turn a textual assembly
+kernel (AT&T-syntax x86-64 or AArch64) into a list of
+:class:`~repro.isa.instruction.Instruction` objects with fully resolved
+operand read/write semantics.  It is the foundation both for the static
+analyzer (:mod:`repro.analysis`) and for the cycle-level core simulator
+(:mod:`repro.simulator`).
+
+Public entry points
+-------------------
+parse_kernel(source, isa)
+    Parse an assembly listing into instructions.
+get_parser(isa)
+    Return the parser instance for ``"x86"`` or ``"aarch64"``.
+"""
+
+from .operands import (
+    Operand,
+    Register,
+    Immediate,
+    MemoryOperand,
+    LabelOperand,
+    RegisterClass,
+)
+from .instruction import Instruction, OperandAccess
+from .parser_x86 import ParserX86ATT
+from .parser_x86_intel import ParserX86Intel
+from .parser_aarch64 import ParserAArch64
+from .registers import (
+    register_info,
+    root_register,
+    registers_alias,
+    is_zero_register,
+)
+
+_PARSERS = {
+    "x86": ParserX86ATT,
+    "x86_64": ParserX86ATT,
+    "x86_intel": ParserX86Intel,
+    "x86-intel": ParserX86Intel,
+    "aarch64": ParserAArch64,
+    "arm": ParserAArch64,
+}
+
+
+def get_parser(isa: str):
+    """Return a parser instance for the given ISA name.
+
+    Accepted names: ``x86``, ``x86_64`` (AT&T syntax), ``aarch64``,
+    ``arm``.
+    """
+    try:
+        cls = _PARSERS[isa.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown ISA {isa!r}; expected one of {sorted(_PARSERS)}"
+        ) from None
+    return cls()
+
+
+def parse_kernel(source: str, isa: str):
+    """Parse an assembly listing into a list of instructions.
+
+    Directive lines and pure-label lines are dropped; labels are attached
+    to the following instruction.
+    """
+    return get_parser(isa).parse(source)
+
+
+__all__ = [
+    "Operand",
+    "Register",
+    "Immediate",
+    "MemoryOperand",
+    "LabelOperand",
+    "RegisterClass",
+    "Instruction",
+    "OperandAccess",
+    "ParserX86ATT",
+    "ParserX86Intel",
+    "ParserAArch64",
+    "get_parser",
+    "parse_kernel",
+    "register_info",
+    "root_register",
+    "registers_alias",
+    "is_zero_register",
+]

@@ -1,0 +1,129 @@
+"""Kernel extraction from full assembly files.
+
+``repro-analyze`` is most useful pointed at the raw ``.s`` file a
+compiler produced.  Like OSACA, three extraction strategies are
+supported, tried in order:
+
+1. **OSACA markers** — comment lines ``OSACA-BEGIN`` / ``OSACA-END``
+   around the loop body;
+2. **IACA byte markers** — the classic
+   ``movl $111, %ebx; .byte 100,103,144`` start and ``movl $222, %ebx``
+   end sequences (x86 only);
+3. **innermost-loop heuristic** — the shortest label→backward-branch
+   region in the file (ties broken toward the most arithmetic-dense
+   candidate), which is what one wants for a single hot loop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+_OSACA_BEGIN = re.compile(r"OSACA[-_ ]BEGIN", re.I)
+_OSACA_END = re.compile(r"OSACA[-_ ]END", re.I)
+_IACA_START = re.compile(r"movl?\s+\$?111\s*,")
+_IACA_END = re.compile(r"movl?\s+\$?222\s*,")
+_LABEL = re.compile(r"^\s*([.\w$]+):")
+_BRANCH_X86 = re.compile(r"^\s*j[a-z]+\s+([.\w$]+)\s*$")
+_BRANCH_A64 = re.compile(r"^\s*(?:b\.[a-z]+|b|cbn?z\s+\w+\s*,|tbn?z\s+[\w#, ]+,)\s*([.\w$]+)\s*$")
+
+
+@dataclass
+class ExtractedKernel:
+    """A candidate loop body from a larger listing."""
+
+    source: str
+    start_line: int
+    end_line: int
+    method: str  #: "osaca" | "iaca" | "heuristic" | "whole"
+
+
+def extract_kernel(source: str, isa: str = "x86") -> ExtractedKernel:
+    """Extract the marked or innermost loop body from a listing.
+
+    Falls back to the whole input when no markers and no loop are
+    found (straight-line blocks are analyzable too).
+    """
+    lines = source.splitlines()
+
+    begin = end = None
+    for n, line in enumerate(lines):
+        if _OSACA_BEGIN.search(line):
+            begin = n + 1
+        elif _OSACA_END.search(line) and begin is not None:
+            end = n
+            break
+    if begin is not None and end is not None and end > begin:
+        return ExtractedKernel(
+            source="\n".join(lines[begin:end]) + "\n",
+            start_line=begin + 1,
+            end_line=end,
+            method="osaca",
+        )
+
+    if isa.startswith("x86"):
+        begin = end = None
+        for n, line in enumerate(lines):
+            if _IACA_START.search(line):
+                begin = n + 2  # skip the marker mov and the .byte line
+            elif _IACA_END.search(line) and begin is not None:
+                end = n
+                break
+        if begin is not None and end is not None and end > begin:
+            body = [
+                l for l in lines[begin:end] if not l.strip().startswith(".byte")
+            ]
+            return ExtractedKernel(
+                source="\n".join(body) + "\n",
+                start_line=begin + 1,
+                end_line=end,
+                method="iaca",
+            )
+
+    loop = _innermost_loop(lines, isa)
+    if loop is not None:
+        s, e = loop
+        return ExtractedKernel(
+            source="\n".join(lines[s:e + 1]) + "\n",
+            start_line=s + 1,
+            end_line=e + 1,
+            method="heuristic",
+        )
+
+    return ExtractedKernel(
+        source=source, start_line=1, end_line=len(lines), method="whole"
+    )
+
+
+def _innermost_loop(lines: list[str], isa: str) -> Optional[tuple[int, int]]:
+    """Find (label_line, branch_line) of the innermost loop.
+
+    The innermost loop is the *shortest* backward-branch region; among
+    equals, the one containing the most FP/vector mnemonics.
+    """
+    labels: dict[str, int] = {}
+    branch_re = _BRANCH_X86 if isa.startswith("x86") else _BRANCH_A64
+    candidates: list[tuple[int, int]] = []
+    for n, line in enumerate(lines):
+        m = _LABEL.match(line)
+        if m:
+            labels[m.group(1)] = n
+        b = branch_re.match(line)
+        if b:
+            target = b.group(1)
+            if target in labels and labels[target] <= n:
+                candidates.append((labels[target], n))
+    if not candidates:
+        return None
+
+    def density(span: tuple[int, int]) -> int:
+        body = lines[span[0]:span[1] + 1]
+        return sum(
+            1
+            for l in body
+            if re.search(r"\b(v?f?(add|sub|mul|div|madd|mla)|fml[as])", l)
+        )
+
+    candidates.sort(key=lambda c: (c[1] - c[0], -density(c)))
+    return candidates[0]

@@ -1,0 +1,114 @@
+"""Shared assembly-parsing machinery.
+
+Both parsers follow the same line discipline:
+
+* ``#`` (x86 AT&T), ``//`` and ``/* */`` (AArch64/GNU), and ``;``
+  comments are stripped.
+* ``label:`` prefixes are remembered and attached to the next
+  instruction.
+* Assembler directives (lines starting with ``.``) are skipped, except
+  that they are counted so callers can detect marker comments.
+
+Subclasses implement :meth:`BaseParser.parse_line` to produce an
+:class:`~repro.isa.instruction.Instruction`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .instruction import Instruction
+
+
+class ParseError(ValueError):
+    """Raised when a line cannot be parsed as an instruction."""
+
+    def __init__(self, message: str, line: str = "", line_number: int = 0):
+        super().__init__(
+            f"{message} (line {line_number}: {line.strip()!r})" if line else message
+        )
+        self.line = line
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^\s*([.\w$]+):")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.S)
+
+
+class BaseParser:
+    """Line-oriented assembly parser skeleton."""
+
+    isa: str = ""
+    comment_markers: tuple[str, ...] = ("#", "//", ";")
+
+    def parse(self, source: str) -> list[Instruction]:
+        """Parse a full listing; returns instructions in program order."""
+        source = _BLOCK_COMMENT_RE.sub("", source)
+        instructions: list[Instruction] = []
+        pending_label: Optional[str] = None
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = self.strip_comment(raw)
+            m = _LABEL_RE.match(line)
+            if m:
+                pending_label = m.group(1)
+                line = line[m.end():]
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                # assembler directive (.align, .loc, …)
+                continue
+            instr = self.parse_line(line, number)
+            if instr is None:
+                continue
+            if pending_label is not None:
+                instr = Instruction(
+                    mnemonic=instr.mnemonic,
+                    operands=instr.operands,
+                    isa=instr.isa,
+                    accesses=instr.accesses,
+                    implicit_reads=instr.implicit_reads,
+                    implicit_writes=instr.implicit_writes,
+                    label=pending_label,
+                    line=instr.line,
+                    line_number=instr.line_number,
+                )
+                pending_label = None
+            instructions.append(instr)
+        return instructions
+
+    def strip_comment(self, line: str) -> str:
+        for marker in self.comment_markers:
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        return line
+
+    def parse_line(self, line: str, number: int) -> Optional[Instruction]:
+        raise NotImplementedError
+
+
+def split_operands(text: str) -> list[str]:
+    """Split an operand list on top-level commas.
+
+    Commas inside ``()`` (x86 memory), ``[]`` (AArch64 memory), and
+    ``{}`` (register lists / mask annotations) do not split.
+    """
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]

@@ -1,0 +1,142 @@
+"""AT&T-syntax x86-64 parser.
+
+Handles the GNU assembler dialect emitted by GCC/Clang/ICX:
+
+* registers ``%rax``, ``%xmm0``…``%zmm31``, ``%k0``…``%k7``
+* EVEX mask annotations ``%zmm0{%k1}{z}`` (mask register recorded as an
+  extra read)
+* immediates ``$42``, ``$0x10``, ``$.LC0``
+* memory ``disp(base, index, scale)`` including rip-relative
+  ``sym(%rip)`` and index-only ``(,%rcx,8)`` forms
+* branch targets as bare labels
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .instruction import Instruction
+from .operands import Immediate, LabelOperand, MemoryOperand, Operand
+from .parser_base import BaseParser, ParseError, split_operands
+from .registers import is_register_name, make_register
+from .semantics import x86_semantics
+
+_MEM_RE = re.compile(
+    r"^(?P<disp>[-+]?[\w.$]*)?"
+    r"\((?P<inner>[^)]*)\)$"
+)
+_MASK_RE = re.compile(r"\{%?(k[0-7])\}(\{z\})?")
+
+
+class ParserX86ATT(BaseParser):
+    """Parser for AT&T-syntax x86-64 assembly."""
+
+    isa = "x86"
+    comment_markers = ("#", ";")
+
+    def parse_line(self, line: str, number: int) -> Optional[Instruction]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        # Instruction prefixes we can fold away.
+        while mnemonic in ("lock", "rep", "repz", "repnz", "notrack", "data16"):
+            if len(parts) < 2:
+                return None
+            parts = parts[1].split(None, 1)
+            mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+
+        mask_reads: list[str] = []
+        operands: list[Operand] = []
+        for token in split_operands(operand_text):
+            op, masks = self._parse_operand(token, line, number)
+            operands.append(op)
+            mask_reads.extend(masks)
+
+        accesses, imp_r, imp_w = x86_semantics(mnemonic, tuple(operands))
+        if mask_reads:
+            imp_r = tuple(imp_r) + tuple(mask_reads)
+        return Instruction(
+            mnemonic=mnemonic,
+            operands=tuple(operands),
+            isa="x86",
+            accesses=accesses,
+            implicit_reads=tuple(imp_r),
+            implicit_writes=tuple(imp_w),
+            line=line,
+            line_number=number,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parse_operand(
+        self, token: str, line: str, number: int
+    ) -> tuple[Operand, list[str]]:
+        token = token.strip()
+        masks: list[str] = []
+
+        mask_match = _MASK_RE.search(token)
+        if mask_match:
+            masks.append(mask_match.group(1))
+            token = _MASK_RE.sub("", token).strip()
+
+        if token.startswith("*"):  # indirect jump/call target
+            token = token[1:]
+
+        if token.startswith("%"):
+            name = token[1:].lower()
+            if not is_register_name(name, "x86"):
+                raise ParseError(f"unknown register %{name}", line, number)
+            return make_register(name, "x86"), masks
+
+        if token.startswith("$"):
+            return self._parse_immediate(token[1:]), masks
+
+        m = _MEM_RE.match(token)
+        if m:
+            return self._parse_memory(m, line, number), masks
+
+        # Bare symbol: branch target or absolute address.
+        return LabelOperand(token), masks
+
+    @staticmethod
+    def _parse_immediate(text: str) -> Immediate:
+        text = text.strip()
+        try:
+            value = int(text, 0)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                value = 0  # symbolic constant such as $.LC0
+        return Immediate(value=value, raw=text)
+
+    def _parse_memory(self, m, line: str, number: int) -> MemoryOperand:
+        disp_text = (m.group("disp") or "").strip()
+        displacement = 0
+        if disp_text:
+            try:
+                displacement = int(disp_text, 0)
+            except ValueError:
+                displacement = 0  # symbolic displacement (e.g. array label)
+        base = index = None
+        scale = 1
+        inner = [p.strip() for p in m.group("inner").split(",")]
+        if inner and inner[0]:
+            name = inner[0].lstrip("%").lower()
+            if not is_register_name(name, "x86"):
+                raise ParseError(f"bad base register {inner[0]!r}", line, number)
+            base = make_register(name, "x86")
+        if len(inner) > 1 and inner[1]:
+            name = inner[1].lstrip("%").lower()
+            if not is_register_name(name, "x86"):
+                raise ParseError(f"bad index register {inner[1]!r}", line, number)
+            index = make_register(name, "x86")
+        if len(inner) > 2 and inner[2]:
+            try:
+                scale = int(inner[2], 0)
+            except ValueError:
+                raise ParseError(f"bad scale {inner[2]!r}", line, number) from None
+        return MemoryOperand(
+            base=base, index=index, scale=scale, displacement=displacement
+        )

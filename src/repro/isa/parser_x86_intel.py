@@ -1,0 +1,153 @@
+"""Intel-syntax x86-64 parser.
+
+Accepts the dialect emitted by ``objdump -Mintel``, MSVC, and ICX with
+``-masm=intel``:
+
+* destination-first operand order (converted to AT&T order internally
+  so semantics, machine models, and everything downstream see one
+  canonical form),
+* memory operands ``qword ptr [rax+rcx*8+16]``, ``[rip+.LC0]``,
+* EVEX masks ``zmm0{k1}{z}``,
+* bare-register names (no ``%``), immediates without ``$``.
+
+The parser produces the same :class:`~repro.isa.instruction.Instruction`
+objects as :class:`~repro.isa.parser_x86.ParserX86ATT`; round-trip
+equivalence is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .instruction import Instruction
+from .operands import Immediate, LabelOperand, MemoryOperand, Operand
+from .parser_base import BaseParser, ParseError, split_operands
+from .registers import is_register_name, make_register
+from .semantics import x86_semantics
+
+_SIZE_PTR_RE = re.compile(
+    r"^(byte|word|dword|qword|tbyte|xmmword|ymmword|zmmword|oword)\s+ptr\s+",
+    re.I,
+)
+_MASK_RE = re.compile(r"\{(k[0-7])\}(\{z\})?")
+_MEM_TERM_RE = re.compile(r"^([a-z0-9_.$@]+)(\*([1248]))?$", re.I)
+
+
+class ParserX86Intel(BaseParser):
+    """Parser for Intel-syntax x86-64 assembly."""
+
+    isa = "x86"
+    comment_markers = (";", "#")
+
+    def parse_line(self, line: str, number: int) -> Optional[Instruction]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        while mnemonic in ("lock", "rep", "repz", "repnz", "notrack"):
+            if len(parts) < 2:
+                return None
+            parts = parts[1].split(None, 1)
+            mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+
+        mask_reads: list[str] = []
+        intel_ops: list[Operand] = []
+        for token in split_operands(operand_text):
+            op, masks = self._parse_operand(token, line, number)
+            intel_ops.append(op)
+            mask_reads.extend(masks)
+
+        # Intel order is destination-first; canonical (AT&T) order is
+        # destination-last.
+        operands = tuple(reversed(intel_ops))
+
+        accesses, imp_r, imp_w = x86_semantics(mnemonic, operands)
+        if mask_reads:
+            imp_r = tuple(imp_r) + tuple(mask_reads)
+        return Instruction(
+            mnemonic=mnemonic,
+            operands=operands,
+            isa="x86",
+            accesses=accesses,
+            implicit_reads=tuple(imp_r),
+            implicit_writes=tuple(imp_w),
+            line=line,
+            line_number=number,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parse_operand(
+        self, token: str, line: str, number: int
+    ) -> tuple[Operand, list[str]]:
+        token = token.strip()
+        masks: list[str] = []
+
+        m = _MASK_RE.search(token)
+        if m:
+            masks.append(m.group(1))
+            token = _MASK_RE.sub("", token).strip()
+
+        token = _SIZE_PTR_RE.sub("", token).strip()
+
+        if token.startswith("[") and token.endswith("]"):
+            return self._parse_memory(token[1:-1], line, number), masks
+
+        low = token.lower()
+        if is_register_name(low, "x86"):
+            return make_register(low, "x86"), masks
+
+        try:
+            return Immediate(value=int(token, 0), raw=token), masks
+        except ValueError:
+            pass
+        try:
+            return Immediate(value=float(token), raw=token), masks
+        except ValueError:
+            pass
+
+        return LabelOperand(token), masks
+
+    def _parse_memory(self, inner: str, line: str, number: int) -> MemoryOperand:
+        """Parse ``base+index*scale+disp`` (any order, ``-disp`` too)."""
+        base = index = None
+        scale = 1
+        displacement = 0
+        # normalize: keep signs attached to terms
+        text = inner.replace(" ", "")
+        text = text.replace("-", "+-")
+        terms = [t for t in text.split("+") if t]
+        for term in terms:
+            neg = term.startswith("-")
+            body = term[1:] if neg else term
+            # numeric displacement
+            try:
+                v = int(body, 0)
+                displacement += -v if neg else v
+                continue
+            except ValueError:
+                pass
+            m = _MEM_TERM_RE.match(body)
+            if not m:
+                raise ParseError(f"bad memory term {term!r}", line, number)
+            name, _, scale_txt = m.groups()
+            name = name.lower()
+            if is_register_name(name, "x86"):
+                reg = make_register(name, "x86")
+                if scale_txt:
+                    if index is not None:
+                        raise ParseError("two index registers", line, number)
+                    index = reg
+                    scale = int(scale_txt)
+                elif base is None:
+                    base = reg
+                elif index is None:
+                    index = reg
+                else:
+                    raise ParseError("too many registers", line, number)
+            else:
+                # symbolic displacement (label) — ignored numerically
+                continue
+        return MemoryOperand(
+            base=base, index=index, scale=scale, displacement=displacement
+        )

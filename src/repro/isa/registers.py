@@ -1,0 +1,176 @@
+"""Register files and aliasing rules for x86-64 and AArch64.
+
+Dependency analysis needs to know that a write to ``eax`` feeds a later
+read of ``rax``, that ``xmm3``/``ymm3``/``zmm3`` share storage, and that
+AArch64 ``v7`` (NEON) occupies the low 128 bits of SVE ``z7``.  We model
+this with a *root register* per architectural storage location; two
+register operands alias iff their roots are equal.
+
+The zero registers ``xzr``/``wzr`` never carry dependencies and map to
+:data:`~repro.isa.operands.RegisterClass.ZERO`.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Optional
+
+from .operands import Register, RegisterClass
+
+# ---------------------------------------------------------------------------
+# x86-64
+# ---------------------------------------------------------------------------
+
+#: 64-bit GPR roots in encoding order.
+_X86_GPR64 = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+
+_X86_ALIAS: dict[str, tuple[str, int]] = {}
+for _r64 in _X86_GPR64:
+    _X86_ALIAS[_r64] = (_r64, 64)
+
+for _r64, _r32, _r16, _r8 in [
+    ("rax", "eax", "ax", "al"),
+    ("rcx", "ecx", "cx", "cl"),
+    ("rdx", "edx", "dx", "dl"),
+    ("rbx", "ebx", "bx", "bl"),
+    ("rsp", "esp", "sp", "spl"),
+    ("rbp", "ebp", "bp", "bpl"),
+    ("rsi", "esi", "si", "sil"),
+    ("rdi", "edi", "di", "dil"),
+]:
+    _X86_ALIAS[_r32] = (_r64, 32)
+    _X86_ALIAS[_r16] = (_r64, 16)
+    _X86_ALIAS[_r8] = (_r64, 8)
+
+for _hi in ["ah", "ch", "dh", "bh"]:
+    _X86_ALIAS[_hi] = ("r" + _hi[0] + "x", 8)
+
+for _n in range(8, 16):
+    _X86_ALIAS[f"r{_n}d"] = (f"r{_n}", 32)
+    _X86_ALIAS[f"r{_n}w"] = (f"r{_n}", 16)
+    _X86_ALIAS[f"r{_n}b"] = (f"r{_n}", 8)
+
+_X86_VEC_RE = re.compile(r"^(x|y|z)mm(\d+)$")
+_X86_MASK_RE = re.compile(r"^k([0-7])$")
+
+# ---------------------------------------------------------------------------
+# AArch64
+# ---------------------------------------------------------------------------
+
+_A64_GPR_RE = re.compile(r"^([xw])(\d+)$")
+# v = NEON vector, z = SVE vector; b/h/s/d/q are scalar FP views of v regs.
+_A64_VEC_RE = re.compile(r"^([vz])(\d+)$")
+_A64_FP_SCALAR_RE = re.compile(r"^([bhsdq])(\d+)$")
+_A64_PRED_RE = re.compile(r"^p(\d+)$")
+
+_A64_FP_WIDTH = {"b": 8, "h": 16, "s": 32, "d": 64, "q": 128}
+
+
+@lru_cache(maxsize=4096)
+def register_info(name: str, isa: str) -> tuple[RegisterClass, int, str]:
+    """Classify a register name.
+
+    Returns ``(reg_class, width_bits, root_name)``.  Raises
+    :class:`ValueError` for names that are not registers of the ISA.
+    """
+    n = name.lower()
+    isa = isa.lower()
+    if isa in ("x86", "x86_64"):
+        if n in _X86_ALIAS:
+            root, width = _X86_ALIAS[n]
+            return RegisterClass.GPR, width, root
+        m = _X86_VEC_RE.match(n)
+        if m and int(m.group(2)) < 32:
+            width = {"x": 128, "y": 256, "z": 512}[m.group(1)]
+            return RegisterClass.VEC, width, f"zmm{int(m.group(2))}"
+        m = _X86_MASK_RE.match(n)
+        if m:
+            return RegisterClass.MASK, 64, n
+        if n == "rip":
+            return RegisterClass.IP, 64, "rip"
+        if n in ("rflags", "eflags", "flags"):
+            return RegisterClass.FLAGS, 64, "rflags"
+        raise ValueError(f"not an x86-64 register: {name!r}")
+
+    if isa in ("aarch64", "arm"):
+        m = _A64_GPR_RE.match(n)
+        if m:
+            width = 64 if m.group(1) == "x" else 32
+            return RegisterClass.GPR, width, f"x{int(m.group(2))}"
+        if n in ("xzr", "wzr"):
+            return RegisterClass.ZERO, 64 if n == "xzr" else 32, "xzr"
+        if n == "sp" or n == "wsp":
+            return RegisterClass.GPR, 64, "sp"
+        m = _A64_VEC_RE.match(n)
+        if m and int(m.group(2)) < 32:
+            # SVE z registers on Neoverse V2 are 128 bit and alias the
+            # NEON v registers; both root to zN for dependency purposes.
+            width = 128
+            return RegisterClass.VEC, width, f"z{int(m.group(2))}"
+        m = _A64_FP_SCALAR_RE.match(n)
+        if m and int(m.group(2)) < 32:
+            return (
+                RegisterClass.VEC,
+                _A64_FP_WIDTH[m.group(1)],
+                f"z{int(m.group(2))}",
+            )
+        m = _A64_PRED_RE.match(n)
+        if m and int(m.group(1)) < 16:
+            return RegisterClass.PRED, 16, n
+        if n == "nzcv":
+            return RegisterClass.FLAGS, 4, "nzcv"
+        raise ValueError(f"not an AArch64 register: {name!r}")
+
+    raise ValueError(f"unknown ISA {isa!r}")
+
+
+def make_register(
+    name: str,
+    isa: str,
+    arrangement: Optional[str] = None,
+    predication: Optional[str] = None,
+) -> Register:
+    """Build a :class:`Register` operand, resolving class/width/root."""
+    reg_class, width, root = register_info(name, isa)
+    return Register(
+        name=name.lower(),
+        reg_class=reg_class,
+        width=width,
+        root=root,
+        arrangement=arrangement,
+        predication=predication,
+    )
+
+
+def root_register(name: str, isa: str) -> str:
+    """Canonical storage-location name for dependency tracking."""
+    return register_info(name, isa)[2]
+
+
+def registers_alias(a: str, b: str, isa: str) -> bool:
+    """True iff the two register names share architectural storage."""
+    try:
+        return root_register(a, isa) == root_register(b, isa)
+    except ValueError:
+        return False
+
+
+def is_zero_register(name: str, isa: str) -> bool:
+    """True for AArch64 ``xzr``/``wzr`` (reads of which are free)."""
+    try:
+        return register_info(name, isa)[0] is RegisterClass.ZERO
+    except ValueError:
+        return False
+
+
+def is_register_name(name: str, isa: str) -> bool:
+    """True iff *name* is a valid register of the ISA."""
+    try:
+        register_info(name, isa)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,49 @@
+"""The validation kernel suite and its code generator.
+
+The paper validates its in-core models with 13 streaming
+microbenchmarks (ADD, COPY, INIT, UPDATE, SUM reduction, STREAM triad,
+Schönauer triad, π by integration, Gauss-Seidel 2D 5-point, and Jacobi
+2D 5-point / 3D 7-point / 3D 11-point / 3D 27-point stencils), each
+compiled by several compilers at ``-O1``/``-O2``/``-O3``/``-Ofast`` —
+416 test blocks in total.
+
+Here the kernels are defined once as expression-tree IR
+(:mod:`~repro.kernels.ir`, :mod:`~repro.kernels.suite`) and lowered to
+real assembly by :mod:`~repro.kernels.codegen` under *compiler
+personas* (:mod:`~repro.kernels.personas`) that mimic the
+vectorization, unrolling, FMA-contraction, and reduction-reassociation
+habits of GCC, Clang, ICX, and Arm Clang at each optimization level.
+:mod:`~repro.kernels.corpus` enumerates the full 416-variant corpus.
+"""
+
+from .ir import Expr, Load, Scalar, Carried, IndexValue, Bin, count_flops, collect_loads
+from .suite import KERNELS, KernelSpec, get_kernel
+from .extended import EXTENDED_KERNELS, all_kernels, get_extended_kernel, register_kernel
+from .personas import PERSONAS, CompilerPersona, personas_for_isa, OPT_LEVELS
+from .codegen import generate_assembly
+from .corpus import CorpusEntry, enumerate_corpus
+
+__all__ = [
+    "Expr",
+    "Load",
+    "Scalar",
+    "Carried",
+    "IndexValue",
+    "Bin",
+    "count_flops",
+    "collect_loads",
+    "KERNELS",
+    "KernelSpec",
+    "get_kernel",
+    "EXTENDED_KERNELS",
+    "all_kernels",
+    "get_extended_kernel",
+    "register_kernel",
+    "PERSONAS",
+    "CompilerPersona",
+    "personas_for_isa",
+    "OPT_LEVELS",
+    "generate_assembly",
+    "CorpusEntry",
+    "enumerate_corpus",
+]

@@ -1,0 +1,57 @@
+"""Kernel → assembly lowering under compiler personas.
+
+:func:`generate_assembly` is the single entry point: it selects the
+x86 or AArch64 emitter and produces the innermost-loop body text (label
+through backward branch) — exactly the block OSACA-style analysis and
+the core simulator consume.
+"""
+
+from __future__ import annotations
+
+from ..personas import CompilerPersona, PERSONAS
+from ..suite import KernelSpec, get_kernel
+from .x86 import X86Emitter
+from .aarch64 import AArch64Emitter
+
+
+def generate_assembly(
+    kernel: str | KernelSpec,
+    persona: str | CompilerPersona,
+    opt: str,
+    uarch: str,
+    precision: str = "dp",
+) -> str:
+    """Lower a kernel to assembly.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name (see :data:`repro.kernels.suite.KERNELS`) or spec.
+    persona:
+        Compiler persona name or instance; must match the target ISA.
+    opt:
+        ``"O1"`` | ``"O2"`` | ``"O3"`` | ``"Ofast"``.
+    uarch:
+        Target microarchitecture (``golden_cove``/``zen4``/
+        ``neoverse_v2``) — affects vector width selection.
+    precision:
+        ``"dp"`` (the paper's corpus) or ``"sp"`` — single-precision
+        variants double the elements per vector.
+    """
+    if isinstance(kernel, KernelSpec):
+        k = kernel
+    else:
+        from ..extended import get_extended_kernel
+
+        k = get_extended_kernel(kernel)  # paper suite + extensions
+    p = persona if isinstance(persona, CompilerPersona) else PERSONAS[persona]
+    if uarch in ("neoverse_v2",):
+        if p.isa != "aarch64":
+            raise ValueError(f"persona {p.name} does not target aarch64")
+        return AArch64Emitter(k, p, opt, precision).generate()
+    if p.isa != "x86":
+        raise ValueError(f"persona {p.name} does not target x86")
+    return X86Emitter(k, p, opt, uarch, precision).generate()
+
+
+__all__ = ["generate_assembly", "X86Emitter", "AArch64Emitter"]

@@ -1,0 +1,144 @@
+"""Compiler personas.
+
+The validation corpus needs *realistically diverse* assembly for the
+same kernels.  Each persona captures the code-generation habits of one
+real toolchain at the paper's four optimization levels:
+
+=========  =========================================================
+persona    habits
+=========  =========================================================
+gcc        x86: scalar at -O1; 512-bit vectors on SPR / 256-bit on
+           Genoa from -O2; no extra unrolling; reductions stay scalar
+           until -Ofast and then use a single vector accumulator
+clang      256-bit everywhere; interleaves (unroll 2 at -O2, 4 at
+           -O3); -Ofast reassociates reductions over 4 accumulators
+icx        512-bit on SPR (zmm-hungry), 256-bit on Genoa; moderate
+           unrolling; 4 accumulators at -Ofast
+gcc-arm    SVE (VL=128, whilelo-predicated loops) from -O2; single
+           accumulator; 2 accumulators at -Ofast
+armclang   NEON with aggressive interleaving (2/4-way); 4
+           accumulators at -Ofast; rotates the Gauss-Seidel carried
+           value through an ``fmov`` (the register move the V2
+           renamer eliminates but a static model must count)
+=========  =========================================================
+
+All personas contract ``a*b+c`` to FMA at every level (the GCC/Clang
+default ``-ffp-contract=fast``/``on`` behaviour for these kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: the paper's optimization levels
+OPT_LEVELS = ("O1", "O2", "O3", "Ofast")
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """Code-generation knobs at one optimization level."""
+
+    vectorize: bool
+    unroll: int = 1
+    n_accumulators: int = 1
+    fast_math: bool = False
+
+
+@dataclass(frozen=True)
+class CompilerPersona:
+    """One compiler's habits across optimization levels."""
+
+    name: str
+    isa: str  #: "x86" | "aarch64"
+    configs: dict[str, OptConfig]
+    #: x86: microarchitecture -> vector register class at full opt
+    vector_width: dict[str, str] = field(default_factory=dict)
+    #: aarch64 vector style: "neon" | "sve"
+    vector_style: str = "neon"
+    #: fold one memory operand into arithmetic instructions (x86)
+    fold_memory: bool = True
+    #: rotate the Gauss-Seidel carried value through an fmov (aarch64)
+    gs_move_chain: bool = False
+
+    def config(self, opt: str) -> OptConfig:
+        try:
+            return self.configs[opt]
+        except KeyError:
+            raise ValueError(
+                f"unknown optimization level {opt!r}; known: {OPT_LEVELS}"
+            ) from None
+
+    def width_for(self, uarch: str) -> str:
+        """Vector register class for an x86 target."""
+        return self.vector_width.get(uarch, "ymm")
+
+
+PERSONAS: dict[str, CompilerPersona] = {
+    "gcc": CompilerPersona(
+        name="gcc",
+        isa="x86",
+        configs={
+            "O1": OptConfig(vectorize=False),
+            "O2": OptConfig(vectorize=True, unroll=1),
+            "O3": OptConfig(vectorize=True, unroll=1),
+            "Ofast": OptConfig(vectorize=True, unroll=1, n_accumulators=1,
+                               fast_math=True),
+        },
+        vector_width={"golden_cove": "zmm", "zen4": "ymm"},
+    ),
+    "clang": CompilerPersona(
+        name="clang",
+        isa="x86",
+        configs={
+            "O1": OptConfig(vectorize=False),
+            "O2": OptConfig(vectorize=True, unroll=2),
+            "O3": OptConfig(vectorize=True, unroll=4),
+            "Ofast": OptConfig(vectorize=True, unroll=4, n_accumulators=4,
+                               fast_math=True),
+        },
+        vector_width={"golden_cove": "ymm", "zen4": "ymm"},
+    ),
+    "icx": CompilerPersona(
+        name="icx",
+        isa="x86",
+        configs={
+            "O1": OptConfig(vectorize=False),
+            "O2": OptConfig(vectorize=True, unroll=1),
+            "O3": OptConfig(vectorize=True, unroll=2),
+            "Ofast": OptConfig(vectorize=True, unroll=2, n_accumulators=4,
+                               fast_math=True),
+        },
+        vector_width={"golden_cove": "zmm", "zen4": "ymm"},
+    ),
+    "gcc-arm": CompilerPersona(
+        name="gcc-arm",
+        isa="aarch64",
+        configs={
+            "O1": OptConfig(vectorize=False),
+            "O2": OptConfig(vectorize=True, unroll=1),
+            "O3": OptConfig(vectorize=True, unroll=1),
+            "Ofast": OptConfig(vectorize=True, unroll=1, n_accumulators=2,
+                               fast_math=True),
+        },
+        vector_style="sve",
+    ),
+    "armclang": CompilerPersona(
+        name="armclang",
+        isa="aarch64",
+        configs={
+            "O1": OptConfig(vectorize=False),
+            "O2": OptConfig(vectorize=True, unroll=2),
+            "O3": OptConfig(vectorize=True, unroll=4),
+            "Ofast": OptConfig(vectorize=True, unroll=4, n_accumulators=4,
+                               fast_math=True),
+        },
+        vector_style="neon",
+        gs_move_chain=True,
+    ),
+}
+
+
+def personas_for_isa(isa: str) -> list[CompilerPersona]:
+    """Personas available on an ISA (3 on x86, 2 on AArch64 — matching
+    the paper's toolchain matrix and its 416-test corpus)."""
+    return [p for p in PERSONAS.values() if p.isa == isa]

@@ -1,0 +1,102 @@
+"""Golden Cove machine model (Intel Sapphire Rapids, Xeon Platinum 8470).
+
+Port layout (Intel numbering), 12 ports — Table II of the paper:
+
+====  =====================================================
+port  functional units
+====  =====================================================
+0     int ALU, shift, branch, FP FMA/ADD/MUL (512-bit pair), FP divide
+1     int ALU, int MUL, LEA, FP FMA/MUL (≤256 bit), FP ADD
+5     int ALU, LEA, shuffle, FP FMA/ADD/MUL (512-bit pair)
+6     int ALU, shift, branch
+10    int ALU
+2,3   load AGU (512-bit capable)
+11    load AGU (≤256 bit)
+7,8   store AGU
+4,9   store data (2 × 256 bit/cy, one 512-bit store uses both)
+====  =====================================================
+
+Key derived numbers (paper Table III): 2×512-bit FP pipes → 16 DP
+elements/cy for vector ADD/MUL/FMA; FADD latency 2 (halved vs. Ice
+Lake), MUL/FMA latency 4 (scalar FMA 5); scalar throughput 2/cy;
+``vdivpd`` 0.5 DP elements/cy at latency 14; gather 1/3 cache line per
+cycle at latency 20.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+from .x86_common import X86Params, build_x86_entries
+
+PARAMS = X86Params(
+    alu="0|1|5|6|10",
+    shift="0|6",
+    branch="0|6",
+    lea="0|1|5|6",
+    imul="1",
+    imul_lat=3.0,
+    fp_add={"x": "1|5", "y": "1|5", "z": "0|5"},
+    fp_mul={"x": "0|1", "y": "0|1", "z": "0|5"},
+    fp_fma={"x": "0|1", "y": "0|1", "z": "0|5"},
+    fp_add_lat=2.0,
+    fp_mul_lat=4.0,
+    fp_fma_lat=4.0,
+    fp_add_lat_scalar=2.0,
+    fp_mul_lat_scalar=4.0,
+    fp_fma_lat_scalar=5.0,
+    fp_div_port="0",
+    div_cycles={"s": 4.0, "x": 4.0, "y": 8.0, "z": 16.0},
+    div_lat={"s": 14.0, "x": 14.0, "y": 14.0, "z": 14.0},
+    sqrt_cycles={"s": 6.0, "x": 6.0, "y": 12.0, "z": 24.0},
+    sqrt_lat={"s": 19.0, "x": 19.0, "y": 19.0, "z": 19.0},
+    fp_bool={"x": "0|1|5", "y": "0|1|5", "z": "0|5"},
+    shuffle={"x": "1|5", "y": "1|5", "z": "5"},
+    shuffle_lat=1.0,
+    cross_lane={"y": "5", "z": "5"},
+    cross_lane_lat=3.0,
+    vec_int={"x": "0|1|5", "y": "0|1|5", "z": "0|5"},
+    vec_int_lat=1.0,
+    transfer="0",
+    transfer_lat=3.0,
+    cvt={"x": "0|1", "y": "0|1", "z": "0|5"},
+    cvt_lat=4.0,
+    fp_cmp_lat=3.0,
+    gather={"x": (3.0, 20.0), "y": (3.0, 20.0), "z": (3.0, 20.0)},
+    gather_extra_ports="0|5",
+    mask_ports="0|5",
+    mask_lat=1.0,
+    uops_per_op={"x": 1, "y": 1, "z": 1},
+    has_avx512=True,
+)
+
+GOLDEN_COVE = MachineModel(
+    name="golden_cove",
+    isa="x86",
+    ports=("0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11"),
+    entries=build_x86_entries(PARAMS),
+    load_ports=("2", "3", "11"),
+    load_ports_wide=("2", "3"),
+    store_agu_ports=("7", "8"),
+    store_data_ports=("4", "9"),
+    load_latency_gpr=5.0,
+    load_latency_vec=7.0,
+    load_width_bytes=64,
+    store_width_bytes=32,
+    dispatch_width=6,
+    retire_width=8,
+    rob_size=512,
+    scheduler_size=205,
+    load_buffer=192,
+    store_buffer=114,
+    move_elimination=True,
+    zero_idioms=True,
+    simd_width_bytes=64,
+    int_alu_ports=("0", "1", "5", "6", "10"),
+    fp_ports=("0", "1", "5"),
+    branch_ports=("0", "6"),
+    description=(
+        "Intel Golden Cove P-core as in Sapphire Rapids (Xeon Platinum "
+        "8470): 12 ports, 2x512-bit FP pipes, 512-entry ROB, 6-wide "
+        "allocation."
+    ),
+)

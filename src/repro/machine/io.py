@@ -1,0 +1,104 @@
+"""Machine-model serialization.
+
+OSACA ships machine models as editable data files so users can add
+microarchitectures without touching the tool.  This module provides the
+same workflow: `MachineModel` ↔ JSON round-trips, so a user can dump a
+shipped model, edit latencies/ports (e.g. from their own
+microbenchmarks), and load it back::
+
+    from repro.machine import get_machine_model
+    from repro.machine.io import save_model, load_model
+
+    save_model(get_machine_model("zen4"), "my_zen4.json")
+    # ... edit ...
+    model = load_model("my_zen4.json")
+
+The format is deliberately flat and diff-friendly: one JSON object per
+instruction-form entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .model import InstrEntry, MachineModel, Uop
+
+FORMAT_VERSION = 1
+
+_MODEL_FIELDS = [
+    "name", "isa", "ports",
+    "load_ports", "store_agu_ports", "store_data_ports",
+    "load_latency_gpr", "load_latency_vec",
+    "load_width_bytes", "store_width_bytes", "load_ports_wide",
+    "dispatch_width", "retire_width", "rob_size", "scheduler_size",
+    "load_buffer", "store_buffer",
+    "move_elimination", "zero_idioms",
+    "simd_width_bytes", "int_alu_ports", "fp_ports", "branch_ports",
+    "description",
+]
+
+
+def model_to_dict(model: MachineModel) -> dict[str, Any]:
+    """Serialize a model to plain data."""
+    out: dict[str, Any] = {"format_version": FORMAT_VERSION}
+    for f in _MODEL_FIELDS:
+        v = getattr(model, f)
+        out[f] = list(v) if isinstance(v, tuple) else v
+    out["entries"] = [
+        {
+            "mnemonic": e.mnemonic,
+            "signature": e.signature,
+            "uops": [{"ports": list(u.ports), "cycles": u.cycles} for u in e.uops],
+            "latency": e.latency,
+            **({"throughput": e.throughput} if e.throughput is not None else {}),
+            **({"divider": e.divider} if e.divider else {}),
+            **({"notes": e.notes} if e.notes else {}),
+        }
+        for e in model.entries
+    ]
+    return out
+
+
+def model_from_dict(data: dict[str, Any]) -> MachineModel:
+    """Reconstruct a model from :func:`model_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported machine-file format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    entries = [
+        InstrEntry(
+            mnemonic=e["mnemonic"],
+            signature=e["signature"],
+            uops=tuple(
+                Uop(ports=tuple(u["ports"]), cycles=u.get("cycles", 1.0))
+                for u in e["uops"]
+            ),
+            latency=e.get("latency", 1.0),
+            throughput=e.get("throughput"),
+            divider=e.get("divider", 0.0),
+            notes=e.get("notes", ""),
+        )
+        for e in data["entries"]
+    ]
+    kwargs: dict[str, Any] = {}
+    for f in _MODEL_FIELDS:
+        if f not in data:
+            continue
+        v = data[f]
+        kwargs[f] = tuple(v) if isinstance(v, list) else v
+    kwargs["entries"] = entries
+    return MachineModel(**kwargs)
+
+
+def save_model(model: MachineModel, path: str | Path, indent: int = 1) -> None:
+    """Write a model to a JSON machine file."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=indent))
+
+
+def load_model(path: str | Path) -> MachineModel:
+    """Load a model from a JSON machine file."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,393 @@
+"""Neoverse V2 machine model (Nvidia Grace CPU Superchip).
+
+Port layout, 17 ports — the paper's Fig. 1 / Table II, compiled from
+Arm's Software Optimization Guide:
+
+===========  ====================================================
+port         functional units
+===========  ====================================================
+b0, b1       branch
+i0…i3        single-cycle integer ALU
+m0, m1       multi-cycle integer (MUL/MADD/DIV, CRC, some flags)
+v0…v3        FP / ASIMD / SVE pipes (128-bit each; FDIV on v0)
+l0, l1, l2   load AGUs (3 × 128 bit/cy)
+sa0, sa1     store pipes (2 × 128 bit/cy, address+data combined)
+===========  ====================================================
+
+Although the core implements SVE, the vector length is 128 bit — a
+quarter of Golden Cove's 512-bit registers — so peak vector throughput
+is 4 pipes × 2 DP lanes = 8 elements/cy, identical to a *scalar*
+throughput of 4/cy that no x86 competitor reaches.  Latencies are the
+lowest of the three cores for every instruction in the paper's
+Table III (FADD 2, FMUL 3, FMLA 4, vector FDIV 5, gather 9).
+"""
+
+from __future__ import annotations
+
+from .model import InstrEntry, MachineModel, uop
+
+V = "v0|v1|v2|v3"
+I4 = "i0|i1|i2|i3"
+I6 = "i0|i1|i2|i3|m0|m1"
+M = "m0|m1"
+B = "b0|b1"
+L = "l0|l1|l2"
+
+
+def _entries() -> list[InstrEntry]:
+    E: list[InstrEntry] = []
+
+    # -- integer -------------------------------------------------------------
+    for m in ("add", "sub", "and", "orr", "eor", "bic", "orn", "eon"):
+        for sig in ("r,r,r", "r,r,i"):
+            E.append(InstrEntry(m, sig, (uop(I6),), latency=1.0))
+    for m in ("adds", "subs", "ands", "bics"):
+        for sig in ("r,r,r", "r,r,i"):
+            E.append(InstrEntry(m, sig, (uop(I4),), latency=1.0))
+    for m in ("cmp", "cmn", "tst"):
+        for sig in ("r,r", "r,i"):
+            E.append(InstrEntry(m, sig, (uop(I4),), latency=1.0))
+    E.append(InstrEntry("mul", "r,r,r", (uop(M),), latency=2.0))
+    E.append(InstrEntry("smulh", "r,r,r", (uop(M),), latency=3.0))
+    E.append(InstrEntry("umulh", "r,r,r", (uop(M),), latency=3.0))
+    for m in ("madd", "msub"):
+        E.append(InstrEntry(m, "r,r,r,r", (uop(M),), latency=2.0))
+    for m in ("sdiv", "udiv"):
+        E.append(InstrEntry(m, "r,r,r", (uop("m0"),), latency=12.0, divider=5.0))
+    for m in ("lsl", "lsr", "asr", "ror"):
+        for sig in ("r,r,i", "r,r,r"):
+            E.append(InstrEntry(m, sig, (uop(I4),), latency=1.0))
+    for m in ("csel", "csinc", "csinv", "csneg", "cinc", "cneg"):
+        E.append(InstrEntry(m, "r,r,r", (uop(I6),), latency=1.0))
+    for m in ("cset", "csetm"):
+        E.append(InstrEntry(m, "r", (uop(I6),), latency=1.0))
+        E.append(InstrEntry(m, "r,l", (uop(I6),), latency=1.0))
+    E.append(InstrEntry("mov", "r,r", (), latency=0.0, notes="move elimination"))
+    E.append(InstrEntry("mov", "r,i", (uop(I6),), latency=1.0))
+    for m in ("movz", "movk", "movn"):
+        E.append(InstrEntry(m, "r,i", (uop(I6),), latency=1.0))
+        E.append(InstrEntry(m, "*", (uop(I6),), latency=1.0))
+    for m in ("adrp", "adr"):
+        E.append(InstrEntry(m, "r,l", (uop(I6),), latency=1.0))
+    for m in ("sxtw", "uxtw", "sxtb", "sxth", "uxtb", "uxth", "neg", "mvn",
+              "rbit", "rev", "clz"):
+        E.append(InstrEntry(m, "r,r", (uop(I4),), latency=1.0))
+    for m in ("sbfiz", "ubfiz", "sbfx", "ubfx", "bfi", "bfxil", "extr"):
+        E.append(InstrEntry(m, "*", (uop(I4),), latency=1.0))
+    E.append(InstrEntry("nop", "*", (), latency=0.0))
+    E.append(InstrEntry("prfm", "*", (), latency=0.0, notes="prefetch hint"))
+
+    # -- branches -------------------------------------------------------------
+    for m in ("b", "b.*", "br", "ret", "bl", "blr"):
+        E.append(InstrEntry(m, "*", (uop(B),), latency=0.0))
+    for m in ("cbz", "cbnz", "tbz", "tbnz"):
+        E.append(InstrEntry(m, "*", (uop(B),), latency=0.0))
+
+    # -- FP scalar -------------------------------------------------------------
+    for m in ("fadd", "fsub", "fmin", "fmax", "fminnm", "fmaxnm", "fabd"):
+        E.append(InstrEntry(m, "s,s,s", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fmul", "s,s,s", (uop(V),), latency=3.0))
+    E.append(InstrEntry("fnmul", "s,s,s", (uop(V),), latency=3.0))
+    for m in ("fmadd", "fmsub", "fnmadd", "fnmsub"):
+        E.append(InstrEntry(m, "s,s,s,s", (uop(V),), latency=4.0))
+    # paper Table III: GCS scalar FP divide = 0.4 elements/cy, latency 12
+    E.append(InstrEntry("fdiv", "s,s,s", (uop("v0"),), latency=12.0, divider=2.5))
+    E.append(InstrEntry("fsqrt", "s,s", (uop("v0"),), latency=13.0, divider=4.0))
+    for m in ("fneg", "fabs"):
+        E.append(InstrEntry(m, "s,s", (uop(V),), latency=2.0))
+    # NOTE: the V2 renamer executes fmov d,d as a zero-cycle move, but a
+    # static model without liveness cannot assume it (the paper's
+    # Gauss-Seidel over-prediction stems from exactly this dependency).
+    E.append(InstrEntry("fmov", "s,s", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fmov", "s,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fmov", "s,r", (uop(M),), latency=3.0, notes="gpr->fp transfer"))
+    E.append(InstrEntry("fmov", "r,s", (uop(M),), latency=3.0, notes="fp->gpr transfer"))
+    for m in ("fcmp", "fcmpe"):
+        E.append(InstrEntry(m, "s,s", (uop("v0|v1"),), latency=3.0))
+        E.append(InstrEntry(m, "s,i", (uop("v0|v1"),), latency=3.0))
+    E.append(InstrEntry("fccmp", "*", (uop("v0|v1"),), latency=3.0))
+    E.append(InstrEntry("fcsel", "s,s,s", (uop(V),), latency=2.0))
+    E.append(InstrEntry("scvtf", "s,r", (uop(M), uop(V)), latency=6.0))
+    E.append(InstrEntry("ucvtf", "s,r", (uop(M), uop(V)), latency=6.0))
+    E.append(InstrEntry("fcvtzs", "r,s", (uop(V), uop(M)), latency=6.0))
+    E.append(InstrEntry("fcvtzu", "r,s", (uop(V), uop(M)), latency=6.0))
+    E.append(InstrEntry("fcvt", "s,s", (uop(V),), latency=3.0))
+    E.append(InstrEntry("frintm", "s,s", (uop(V),), latency=3.0))
+    E.append(InstrEntry("frintp", "s,s", (uop(V),), latency=3.0))
+
+    # -- NEON (128-bit q / arrangement forms) ----------------------------------
+    for m in ("fadd", "fsub", "fmin", "fmax", "fminnm", "fmaxnm", "fabd"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fmul", "q,q,q", (uop(V),), latency=3.0))
+    for m in ("fmla", "fmls"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=4.0))
+    # paper Table III: GCS vector FP divide = 0.4 elements/cy (2 lanes / 5 cy)
+    E.append(InstrEntry("fdiv", "q,q,q", (uop("v0"),), latency=5.0, divider=5.0))
+    E.append(InstrEntry("fsqrt", "q,q", (uop("v0"),), latency=13.0, divider=8.0))
+    for m in ("fneg", "fabs"):
+        E.append(InstrEntry(m, "q,q", (uop(V),), latency=2.0))
+    E.append(InstrEntry("faddp", "q,q,q", (uop(V),), latency=3.0, notes="pairwise add"))
+    E.append(InstrEntry("faddp", "s,q", (uop(V),), latency=3.0, notes="pairwise reduce"))
+    for m in ("add", "sub"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=2.0))
+    for m in ("and", "orr", "eor", "bic"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=1.0))
+    for m in ("ext", "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "rev64"):
+        E.append(InstrEntry(m, "*", (uop(V),), latency=2.0))
+    E.append(InstrEntry("movi", "q,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("mov", "q,q", (), latency=0.0, notes="move elimination"))
+    E.append(InstrEntry("dup", "q,r", (uop(M), uop(V)), latency=5.0))
+    E.append(InstrEntry("dup", "q,s", (uop(V),), latency=3.0))
+    E.append(InstrEntry("dup", "q,q", (uop(V),), latency=3.0))
+    E.append(InstrEntry("ins", "*", (uop(V),), latency=2.0))
+    E.append(InstrEntry("umov", "r,q", (uop(M),), latency=5.0))
+    E.append(InstrEntry("addv", "s,q", (uop(V),), latency=4.0))
+    for m in ("shl", "ushr", "sshr", "sshll", "ushll"):
+        E.append(InstrEntry(m, "q,q,i", (uop("v1|v3"),), latency=2.0))
+    for m in ("scvtf", "ucvtf", "fcvtzs", "fcvtl", "fcvtn", "fcvtl2", "fcvtn2"):
+        E.append(InstrEntry(m, "q,q", (uop(V),), latency=3.0))
+    E.append(InstrEntry("fcmgt", "q,q,q", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fcmge", "q,q,q", (uop(V),), latency=2.0))
+
+    # -- SVE (z registers at 128-bit VL) ---------------------------------------
+    for m in ("fadd", "fsub", "fmin", "fmax", "fminnm", "fmaxnm"):
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,p,v,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fmul", "v,v,v", (uop(V),), latency=3.0))
+    E.append(InstrEntry("fmul", "v,p,v,v", (uop(V),), latency=3.0))
+    for m in ("fmla", "fmls", "fnmla", "fnmls"):
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=4.0))
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=4.0))
+    for m in ("fmad", "fmsb", "fnmad", "fnmsb"):
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=4.0))
+    E.append(InstrEntry("fdiv", "v,p,v,v", (uop("v0"),), latency=5.0, divider=5.0))
+    E.append(InstrEntry("fdivr", "v,p,v,v", (uop("v0"),), latency=5.0, divider=5.0))
+    E.append(InstrEntry("fsqrt", "v,p,v", (uop("v0"),), latency=13.0, divider=8.0))
+    for m in ("fneg", "fabs"):
+        E.append(InstrEntry(m, "v,p,v", (uop(V),), latency=2.0))
+    E.append(InstrEntry("faddv", "s,p,v", (uop("v0|v1"),), latency=6.0, throughput=2.0,
+                        notes="horizontal reduction"))
+    E.append(InstrEntry("fadda", "s,p,s,v", (uop("v0"),), latency=8.0, throughput=4.0,
+                        notes="ordered reduction"))
+    for m in ("add", "sub"):
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=2.0))
+    E.append(InstrEntry("mul", "v,p,v,v", (uop("v0|v1"),), latency=4.0))
+    for m in ("and", "orr", "eor", "bic"):
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=1.0))
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=1.0))
+    for m in ("lsl", "lsr", "asr"):
+        E.append(InstrEntry(m, "v,p,v,v", (uop("v1|v3"),), latency=2.0))
+        E.append(InstrEntry(m, "v,v,i", (uop("v1|v3"),), latency=2.0))
+    E.append(InstrEntry("sel", "v,p,v,v", (uop(V),), latency=2.0))
+    E.append(InstrEntry("mov", "v,v", (), latency=0.0, notes="move elimination"))
+    E.append(InstrEntry("mov", "v,p,v", (uop(V),), latency=2.0))
+    E.append(InstrEntry("mov", "v,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("mov", "v,r", (uop(M), uop(V)), latency=5.0))
+    E.append(InstrEntry("dup", "v,r", (uop(M), uop(V)), latency=5.0))
+    E.append(InstrEntry("dup", "v,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("fdup", "v,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("cpy", "v,p,r", (uop(M), uop(V)), latency=5.0))
+    E.append(InstrEntry("fcpy", "v,p,i", (uop(V),), latency=2.0))
+    E.append(InstrEntry("index", "v,r,r", (uop(M), uop(V)), latency=7.0))
+    E.append(InstrEntry("index", "v,i,i", (uop(V),), latency=4.0))
+    E.append(InstrEntry("index", "v,r,i", (uop(M), uop(V)), latency=7.0))
+    E.append(InstrEntry("movprfx", "v,v", (), latency=0.0, notes="fused prefix"))
+    E.append(InstrEntry("movprfx", "v,p,v", (), latency=0.0, notes="fused prefix"))
+    for m in ("scvtf", "ucvtf", "fcvt", "fcvtzs"):
+        E.append(InstrEntry(m, "v,p,v", (uop(V),), latency=3.0))
+    for m in ("fcmgt", "fcmge", "fcmeq", "fcmlt", "fcmne"):
+        E.append(InstrEntry(m, "p,p,v,v", (uop("v0|v1"),), latency=2.0))
+        E.append(InstrEntry(m, "p,p,v,i", (uop("v0|v1"),), latency=2.0))
+
+    # -- NEON/SVE extensions beyond the kernel corpus ---------------------------
+    # reciprocal estimates/steps (Newton-Raphson division sequences)
+    for m in ("frecpe", "frsqrte"):
+        E.append(InstrEntry(m, "q,q", (uop("v0|v1"),), latency=3.0))
+        E.append(InstrEntry(m, "s,s", (uop("v0|v1"),), latency=3.0))
+        E.append(InstrEntry(m, "v,v", (uop("v0|v1"),), latency=3.0))
+    for m in ("frecps", "frsqrts"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=4.0))
+        E.append(InstrEntry(m, "s,s,s", (uop(V),), latency=4.0))
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=4.0))
+    E.append(InstrEntry("fmulx", "q,q,q", (uop(V),), latency=3.0))
+    E.append(InstrEntry("frecpx", "s,s", (uop("v0|v1"),), latency=3.0))
+    # horizontal NEON reductions
+    for m in ("fmaxv", "fminv", "fmaxnmv", "fminnmv"):
+        E.append(InstrEntry(m, "s,q", (uop(V),), latency=4.0))
+    for m in ("saddlv", "uaddlv", "smaxv", "umaxv", "sminv", "uminv"):
+        E.append(InstrEntry(m, "s,q", (uop(V),), latency=4.0))
+        E.append(InstrEntry(m, "r,q", (uop(V), uop(M)), latency=7.0))
+    # NEON integer multiply-accumulate / widening
+    for m in ("mla", "mls"):
+        E.append(InstrEntry(m, "q,q,q", (uop("v0|v1"),), latency=4.0))
+    for m in ("smull", "umull", "smull2", "umull2", "sqdmull"):
+        E.append(InstrEntry(m, "q,q,q", (uop("v0|v1"),), latency=4.0))
+    for m in ("sdot", "udot", "bfdot"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=3.0))
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=3.0))
+    for m in ("xtn", "xtn2", "uqxtn", "sqxtn", "shrn", "shrn2"):
+        E.append(InstrEntry(m, "q,q", (uop("v1|v3"),), latency=2.0))
+        E.append(InstrEntry(m, "q,q,i", (uop("v1|v3"),), latency=2.0))
+    for m in ("cnt", "rbit", "rev16", "rev32", "not", "mvn"):
+        E.append(InstrEntry(m, "q,q", (uop(V),), latency=2.0))
+    for m in ("tbl", "tbx"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=2.0))
+    for m in ("smax", "smin", "umax", "umin", "sabd", "uabd"):
+        E.append(InstrEntry(m, "q,q,q", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,p,v,v", (uop(V),), latency=2.0))
+    for m in ("sshl", "ushl", "srshl", "urshl"):
+        E.append(InstrEntry(m, "q,q,q", (uop("v1|v3"),), latency=2.0))
+    E.append(InstrEntry("addp", "q,q,q", (uop(V),), latency=2.0))
+    E.append(InstrEntry("addv", "r,q", (uop(V), uop(M)), latency=7.0))
+    # multi-structure loads/stores
+    for m in ("ld2", "ld3", "ld4"):
+        E.append(InstrEntry(m, "q,m", (uop(V),), latency=2.0, notes="deinterleave"))
+    for m in ("st2", "st3", "st4"):
+        E.append(InstrEntry(m, "q,m", (uop(V),), latency=1.0, notes="interleave"))
+    # SVE integer compares and predicate-producing ops
+    for m in ("cmpeq", "cmpne", "cmpgt", "cmpge", "cmplt", "cmple",
+              "cmphi", "cmphs", "cmplo", "cmpls"):
+        E.append(InstrEntry(m, "p,p,v,v", (uop("v0|v1"),), latency=2.0))
+        E.append(InstrEntry(m, "p,p,v,i", (uop("v0|v1"),), latency=2.0))
+    # SVE permutes
+    for m in ("zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "rev",
+              "revb", "revh", "revw"):
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "p,p,p", (uop(M),), latency=2.0))
+    for m in ("sunpklo", "sunpkhi", "uunpklo", "uunpkhi", "punpklo", "punpkhi"):
+        E.append(InstrEntry(m, "v,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "p,p", (uop(M),), latency=2.0))
+    for m in ("lasta", "lastb", "clasta", "clastb"):
+        E.append(InstrEntry(m, "s,p,v", (uop("v0|v1"),), latency=3.0))
+        E.append(InstrEntry(m, "r,p,v", (uop("v0|v1"), uop(M)), latency=6.0))
+        E.append(InstrEntry(m, "v,p,v,v", (uop("v0|v1"),), latency=3.0))
+    E.append(InstrEntry("splice", "v,p,v,v", (uop("v0|v1"),), latency=3.0))
+    E.append(InstrEntry("compact", "v,p,v", (uop("v0|v1"),), latency=3.0))
+    E.append(InstrEntry("ext", "v,v,v,i", (uop(V),), latency=2.0))
+    # SVE integer arithmetic extensions
+    for m in ("mad", "msb", "mla", "mls"):
+        E.append(InstrEntry(m, "v,p,v,v", (uop("v0|v1"),), latency=4.0))
+    for m in ("sqadd", "uqadd", "sqsub", "uqsub", "abs", "neg"):
+        E.append(InstrEntry(m, "v,p,v", (uop(V),), latency=2.0))
+        E.append(InstrEntry(m, "v,v,v", (uop(V),), latency=2.0))
+    for m in ("smulh", "umulh"):
+        E.append(InstrEntry(m, "v,p,v,v", (uop("v0|v1"),), latency=5.0))
+    E.append(InstrEntry("sdiv", "v,p,v,v", (uop("v0"),), latency=12.0, divider=11.0))
+    E.append(InstrEntry("udiv", "v,p,v,v", (uop("v0"),), latency=12.0, divider=11.0))
+    E.append(InstrEntry("adr", "v,g", (uop(V),), latency=2.0, notes="vector address"))
+    E.append(InstrEntry("dupm", "v,i", (uop(V),), latency=2.0))
+    # predicate manipulation
+    for m in ("brka", "brkb", "brkpa", "brkpb"):
+        E.append(InstrEntry(m, "p,p,p", (uop(M),), latency=2.0))
+        E.append(InstrEntry(m, "*", (uop(M),), latency=2.0))
+    for m in ("pfirst", "pnext"):
+        E.append(InstrEntry(m, "p,p,p", (uop(M),), latency=2.0))
+    E.append(InstrEntry("cntp", "r,p,p", (uop(M),), latency=3.0))
+    for m in ("and", "orr", "eor", "bic", "nand", "nor", "orn"):
+        E.append(InstrEntry(m, "p,p,p,p", (uop(M),), latency=1.0))
+    E.append(InstrEntry("sel", "p,p,p,p", (uop(M),), latency=1.0))
+    # SVE prefetches
+    for m in ("prfd", "prfw", "prfh", "prfb"):
+        E.append(InstrEntry(m, "*", (), latency=0.0, notes="prefetch hint"))
+    # conversions at vector width
+    for m in ("fcvtas", "fcvtau", "fcvtms", "fcvtmu", "fcvtns", "fcvtps",
+              "frinta", "frinti", "frintx", "frintn", "frintz"):
+        E.append(InstrEntry(m, "q,q", (uop(V),), latency=3.0))
+        E.append(InstrEntry(m, "s,s", (uop(V),), latency=3.0))
+        E.append(InstrEntry(m, "v,p,v", (uop(V),), latency=3.0))
+        E.append(InstrEntry(m, "r,s", (uop(V), uop(M)), latency=6.0))
+
+    # -- predicate bookkeeping --------------------------------------------------
+    E.append(InstrEntry("ptrue", "p", (uop(M),), latency=2.0))
+    E.append(InstrEntry("ptrue", "p,l", (uop(M),), latency=2.0))
+    E.append(InstrEntry("ptrue", "*", (uop(M),), latency=2.0))
+    E.append(InstrEntry("pfalse", "p", (uop(M),), latency=2.0))
+    E.append(InstrEntry("ptest", "p,p", (uop(M),), latency=2.0))
+    for m in ("whilelo", "whilelt", "whilele", "whilels"):
+        E.append(InstrEntry(m, "p,r,r", (uop(M),), latency=2.0))
+    for m in ("incd", "incw", "inch", "incb", "decd", "decw"):
+        E.append(InstrEntry(m, "r", (uop(I6),), latency=1.0))
+        E.append(InstrEntry(m, "r,*", (uop(I6),), latency=1.0))
+    for m in ("cntd", "cntw", "cnth", "cntb"):
+        E.append(InstrEntry(m, "r", (uop(I6),), latency=1.0))
+        E.append(InstrEntry(m, "*", (uop(I6),), latency=1.0))
+    E.append(InstrEntry("rdvl", "r,i", (uop(I6),), latency=1.0))
+
+    # -- loads ------------------------------------------------------------------
+    for m in ("ldr", "ldur"):
+        for sig in ("r,m", "s,m", "q,m"):
+            E.append(InstrEntry(m, sig, (), latency=0.0, notes="pure load"))
+    for m in ("ldrb", "ldrh", "ldrsb", "ldrsh", "ldrsw"):
+        E.append(InstrEntry(m, "r,m", (), latency=0.0, notes="pure load"))
+    E.append(InstrEntry("ldp", "r,r,m", (), latency=0.0, notes="pure load pair"))
+    E.append(InstrEntry("ldp", "s,s,m", (), latency=0.0, notes="pure load pair"))
+    E.append(InstrEntry("ldp", "q,q,m", (uop(L),), latency=0.0,
+                        notes="load pair, 2nd slot"))
+    E.append(InstrEntry("ld1", "q,m", (), latency=0.0, notes="pure load"))
+    for m in ("ld1d", "ld1w", "ld1b", "ld1h", "ldnt1d", "ldnt1w"):
+        E.append(InstrEntry(m, "v,p,m", (), latency=0.0, notes="pure load"))
+    E.append(InstrEntry("ld1rd", "v,p,m", (), latency=2.0, notes="bcast load"))
+    E.append(InstrEntry("ld1rw", "v,p,m", (), latency=2.0, notes="bcast load"))
+    # SVE gather: paper Table III — 1/4 cache line per cycle, latency 9
+    E.append(InstrEntry("ld1d", "v,p,g", (uop("v0|v1"),), latency=9.0,
+                        throughput=1.0, notes="gather"))
+    E.append(InstrEntry("ld1w", "v,p,g", (uop("v0|v1"),), latency=9.0,
+                        throughput=1.0, notes="gather"))
+
+    # -- stores -----------------------------------------------------------------
+    for m in ("str", "stur"):
+        for sig in ("r,m", "s,m", "q,m"):
+            E.append(InstrEntry(m, sig, (), latency=1.0, notes="pure store"))
+    for m in ("strb", "strh"):
+        E.append(InstrEntry(m, "r,m", (), latency=1.0, notes="pure store"))
+    E.append(InstrEntry("stp", "r,r,m", (), latency=1.0, notes="pure store pair"))
+    E.append(InstrEntry("stp", "q,q,m", (uop("sa0|sa1"),), latency=1.0,
+                        notes="store pair, 2nd slot"))
+    E.append(InstrEntry("st1", "q,m", (), latency=1.0, notes="pure store"))
+    for m in ("st1d", "st1w", "st1b", "st1h", "stnt1d", "stnt1w"):
+        E.append(InstrEntry(m, "v,p,m", (), latency=1.0, notes="pure store"))
+    E.append(InstrEntry("st1d", "v,p,g", (uop("v0|v1"), uop("sa0|sa1")),
+                        latency=2.0, throughput=2.0, notes="scatter"))
+
+    return E
+
+
+NEOVERSE_V2 = MachineModel(
+    name="neoverse_v2",
+    isa="aarch64",
+    ports=(
+        "b0", "b1",
+        "i0", "i1", "i2", "i3", "m0", "m1",
+        "v0", "v1", "v2", "v3",
+        "l0", "l1", "l2",
+        "sa0", "sa1",
+    ),
+    entries=_entries(),
+    load_ports=("l0", "l1", "l2"),
+    store_agu_ports=("sa0", "sa1"),
+    store_data_ports=(),
+    load_latency_gpr=4.0,
+    load_latency_vec=6.0,
+    load_width_bytes=16,
+    store_width_bytes=16,
+    dispatch_width=8,
+    retire_width=8,
+    rob_size=320,
+    scheduler_size=160,
+    load_buffer=96,
+    store_buffer=64,
+    move_elimination=True,
+    zero_idioms=False,  # zeroing idioms are an x86 renamer feature
+    simd_width_bytes=16,
+    int_alu_ports=("i0", "i1", "i2", "i3", "m0", "m1"),
+    fp_ports=("v0", "v1", "v2", "v3"),
+    branch_ports=("b0", "b1"),
+    description=(
+        "Arm Neoverse V2 core as in the Nvidia Grace CPU Superchip: 17 "
+        "ports, 4 FP/SIMD pipes of 128 bit (SVE VL=128), 8-wide "
+        "dispatch, 320-entry ROB."
+    ),
+)

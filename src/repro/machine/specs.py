@@ -1,0 +1,217 @@
+"""Node-level chip specifications (the paper's Table I) and the
+calibration constants for the frequency and memory models.
+
+Everything here is *data*: either quoted directly from the paper's
+Table I / text, or a small number of fitted constants whose provenance
+is documented inline (used by :mod:`repro.simulator.frequency` and
+:mod:`repro.simulator.multicore` to reproduce Figs. 2 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class FrequencySpec:
+    """Parameters of the package-power frequency governor model.
+
+    The governor solves ``n_active * c_isa * f^3 + p_uncore <= tdp`` for
+    ``f`` and clamps to the per-ISA frequency cap.  ``c_isa`` has units
+    W/GHz³ per core; caps are GHz.
+    """
+
+    tdp: float
+    p_uncore: float
+    #: per-ISA-class dynamic power coefficient (W/GHz^3/core)
+    power_coeff: dict[str, float]
+    #: per-ISA-class max (turbo/license) frequency in GHz
+    freq_cap: dict[str, float]
+    #: hard lower bound the governor never undershoots (GHz)
+    freq_floor: float
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Cache and memory-interface parameters per chip."""
+
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    line_bytes: int
+    main_memory_bytes: int
+    memory_type: str
+    #: theoretical peak bandwidth, GB/s per socket
+    bw_theoretical: float
+    #: measured sustainable bandwidth, GB/s per socket (paper Table I)
+    bw_sustained: float
+    #: single-core sustainable load bandwidth, GB/s (fit: saturation curve)
+    bw_single_core: float
+    ccnuma_domains: int
+    #: write-allocate policy of the chip: "always" | "claim" | "speci2m"
+    wa_policy: str
+    #: memory-bandwidth utilization above which SpecI2M engages
+    speci2m_threshold: float = 0.6
+    #: fraction of WA traffic SpecI2M eliminates once engaged (paper: ~25%)
+    speci2m_efficiency: float = 0.25
+    #: residual read traffic fraction for NT stores (SPR: ~10%)
+    nt_residual: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One row of the paper's Table I plus model calibration data."""
+
+    name: str
+    chip: str
+    uarch: str
+    cores: int
+    freq_base: float  #: GHz
+    freq_max: float  #: GHz
+    #: double-precision FLOPs per cycle per core sustained by an
+    #: FMA-only kernel (FMA counted as 2) — the achievable-peak basis
+    dp_flops_per_cycle: int
+    tdp: float  #: W
+    #: marketing-theoretical FLOPs/cycle when it differs (AMD counts the
+    #: separate FADD pipes on top of the FMA pipes: 16 + 8 = 24)
+    dp_flops_per_cycle_theor: int | None = None
+    frequency: FrequencySpec = field(repr=False, default=None)  # type: ignore[assignment]
+    memory: MemorySpec = field(repr=False, default=None)  # type: ignore[assignment]
+    #: ISA extension classes selectable on this chip for Fig. 2
+    isa_classes: tuple[str, ...] = ()
+
+    @property
+    def theoretical_peak_tflops(self) -> float:
+        per_cycle = self.dp_flops_per_cycle_theor or self.dp_flops_per_cycle
+        return self.cores * self.freq_max * per_cycle / 1000.0
+
+
+#: Grace CPU Superchip — one chip of the two-socket system.
+GRACE = ChipSpec(
+    name="Nvidia Grace Superchip",
+    chip="gcs",
+    uarch="neoverse_v2",
+    cores=72,
+    freq_base=3.4,
+    freq_max=3.4,
+    dp_flops_per_cycle=16,  # 4 pipes x 2 DP lanes x 2 (FMA)
+    tdp=250.0,
+    frequency=FrequencySpec(
+        tdp=250.0,
+        p_uncore=50.0,
+        # Grace never throttles for vector-heavy code: the budget covers
+        # all 72 cores at 3.4 GHz for every ISA class (paper Fig. 2).
+        power_coeff={"scalar": 0.055, "neon": 0.060, "sve": 0.060},
+        freq_cap={"scalar": 3.4, "neon": 3.4, "sve": 3.4},
+        freq_floor=3.4,
+    ),
+    memory=MemorySpec(
+        l1_bytes=64 * KIB,
+        l2_bytes=1 * MIB,
+        l3_bytes=114 * MIB,
+        line_bytes=64,
+        main_memory_bytes=240 * GIB,
+        memory_type="LPDDR5X",
+        bw_theoretical=546.0,
+        bw_sustained=467.0,
+        bw_single_core=48.0,
+        ccnuma_domains=1,
+        wa_policy="claim",  # automatic cache-line claim, next-to-optimal
+    ),
+    isa_classes=("scalar", "neon", "sve"),
+)
+
+#: Intel Xeon Platinum 8470 (Sapphire Rapids) — one socket.
+SAPPHIRE_RAPIDS = ChipSpec(
+    name="Intel Xeon Platinum 8470",
+    chip="spr",
+    uarch="golden_cove",
+    cores=52,
+    freq_base=2.0,
+    freq_max=3.8,
+    dp_flops_per_cycle=32,  # 2 x 512-bit FMA pipes
+    tdp=350.0,
+    frequency=FrequencySpec(
+        tdp=350.0,
+        p_uncore=70.0,
+        # Fit: SSE/AVX sustain 3.0 GHz across the socket (78% of turbo);
+        # AVX-512 falls to the 2.0 GHz base (53% of turbo) — paper Fig. 2.
+        power_coeff={"scalar": 0.190, "sse": 0.199, "avx": 0.199, "avx512": 0.672},
+        freq_cap={"scalar": 3.8, "sse": 3.8, "avx": 3.8, "avx512": 3.3},
+        freq_floor=2.0,
+    ),
+    memory=MemorySpec(
+        l1_bytes=48 * KIB,
+        l2_bytes=2 * MIB,
+        l3_bytes=105 * MIB,
+        line_bytes=64,
+        main_memory_bytes=512 * GIB,
+        memory_type="DDR5",
+        bw_theoretical=307.0,
+        bw_sustained=273.0,
+        bw_single_core=22.0,
+        ccnuma_domains=4,  # SNC mode: 13 cores per domain
+        wa_policy="speci2m",
+        speci2m_threshold=0.70,
+        speci2m_efficiency=0.25,
+        nt_residual=0.10,
+    ),
+    isa_classes=("scalar", "sse", "avx", "avx512"),
+)
+
+#: AMD EPYC 9684X (Genoa-X) — one socket.
+GENOA = ChipSpec(
+    name="AMD EPYC 9684X",
+    chip="genoa",
+    uarch="zen4",
+    cores=96,
+    freq_base=2.55,
+    freq_max=3.7,
+    dp_flops_per_cycle=16,  # 2 x 256-bit FMA pipes (512-bit split)
+    dp_flops_per_cycle_theor=24,  # marketing adds the 2 FADD pipes
+    tdp=400.0,
+    frequency=FrequencySpec(
+        tdp=400.0,
+        p_uncore=100.0,
+        # Fit: all ISA widths sustain the same frequency, decaying to
+        # 3.1 GHz (84% of turbo) at full socket — paper Fig. 2.
+        power_coeff={"scalar": 0.105, "sse": 0.105, "avx": 0.105, "avx512": 0.105},
+        freq_cap={"scalar": 3.7, "sse": 3.7, "avx": 3.7, "avx512": 3.7},
+        freq_floor=2.55,
+    ),
+    memory=MemorySpec(
+        l1_bytes=32 * KIB,
+        l2_bytes=1 * MIB,
+        l3_bytes=1152 * MIB,  # 3D V-Cache
+        line_bytes=64,
+        main_memory_bytes=384 * GIB,
+        memory_type="DDR5",
+        bw_theoretical=461.0,
+        bw_sustained=360.0,
+        bw_single_core=38.0,
+        ccnuma_domains=1,
+        wa_policy="always",  # only NT stores evade write-allocates
+    ),
+    isa_classes=("scalar", "sse", "avx", "avx512"),
+)
+
+CHIP_SPECS: dict[str, ChipSpec] = {
+    "gcs": GRACE,
+    "grace": GRACE,
+    "spr": SAPPHIRE_RAPIDS,
+    "sapphire_rapids": SAPPHIRE_RAPIDS,
+    "genoa": GENOA,
+    "zen4": GENOA,
+}
+
+
+def get_chip_spec(name: str) -> ChipSpec:
+    """Look up a chip spec by chip alias (``gcs``/``spr``/``genoa``)."""
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    if key not in CHIP_SPECS:
+        raise ValueError(f"unknown chip {name!r}; known: {sorted(CHIP_SPECS)}")
+    return CHIP_SPECS[key]

@@ -1,0 +1,53 @@
+"""What-if machine-model variants.
+
+The paper's Sec. II singles out the Neoverse V2's 128-bit SVE registers
+as its one weakness against the x86 cores ("only a fourth of Golden
+Cove's 512 bit").  Because SVE code is vector-length agnostic, the
+*same* compiled kernels would run unchanged on a hypothetical Grace
+successor with wider vectors — making this a clean model-level
+experiment: double the datapath, keep the instruction table.
+
+:func:`widen_neoverse_v2` builds such a variant: per-instruction costs
+(ports, latencies, divider occupancy) stay identical — Arm's wider
+V-series datapaths have historically kept per-instruction timing — but
+every 128-bit lane now carries twice the elements, and the load/store
+ports move twice the bytes.  The ablation benchmark shows which kernels
+benefit (compute-bound vector code) and which cannot (memory-bound
+streams, scalar/latency-bound chains).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .model import MachineModel
+from .registry import get_machine_model
+
+
+def widen_neoverse_v2(factor: int = 2) -> MachineModel:
+    """A Neoverse V2 variant with ``factor``-times wider SVE datapaths.
+
+    ``factor=2`` models VL=256 (Grace-successor speculation); per-µop
+    timing is unchanged, per-lane width doubles.
+    """
+    if factor < 1 or factor & (factor - 1):
+        raise ValueError("factor must be a power of two >= 1")
+    base = get_machine_model("neoverse_v2")
+    return dataclasses.replace(
+        base,
+        name=f"neoverse_v2_vl{128 * factor}",
+        simd_width_bytes=base.simd_width_bytes * factor,
+        load_width_bytes=base.load_width_bytes * factor,
+        store_width_bytes=base.store_width_bytes * factor,
+        entries=list(base.entries),
+        description=(
+            f"hypothetical Neoverse V2 variant with {128 * factor}-bit "
+            f"SVE vector length (what-if study; per-instruction timing "
+            f"unchanged)"
+        ),
+    )
+
+
+def elements_per_vector(model: MachineModel) -> int:
+    """DP elements per SVE vector register on this model."""
+    return model.simd_width_bytes // 8

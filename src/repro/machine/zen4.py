@@ -1,0 +1,105 @@
+"""Zen 4 machine model (AMD Genoa, EPYC 9684X).
+
+Port layout, 13 ports — Table II of the paper:
+
+=========  ==================================================
+port       functional units
+=========  ==================================================
+alu0-alu3  4 × int ALU (alu1 carries the int multiplier)
+agu0,agu1  load AGUs (2 × 256 bit/cy)
+agu2       store AGU + store data (1 × 256 bit/cy)
+fp0,fp1    FP MUL/FMA pipes (256 bit)
+fp2,fp3    FP ADD pipes (256 bit)
+br0,br1    branch units
+=========  ==================================================
+
+Zen 4 supports AVX-512 but executes 512-bit operations as **2 × 256-bit
+µops** on the same pipes (the paper: "their execution is split into
+2×256 bit packets"), so 512-bit vectors gain no per-cycle element
+throughput: vector ADD/MUL/FMA peak at 8 DP elements/cy.  Latencies:
+ADD/MUL 3, FMA 4, divide 13 at 0.8 DP elements/cy (ymm), scalar divide
+0.2/cy; gather is slow at 1/8 cache line per cycle, latency 13.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+from .x86_common import X86Params, build_x86_entries
+
+PARAMS = X86Params(
+    alu="alu0|alu1|alu2|alu3",
+    shift="alu0|alu1|alu2|alu3",
+    branch="br0|br1",
+    lea="alu0|alu1|alu2|alu3",
+    imul="alu1",
+    imul_lat=3.0,
+    fp_add={"x": "fp2|fp3", "y": "fp2|fp3", "z": "fp2|fp3"},
+    fp_mul={"x": "fp0|fp1", "y": "fp0|fp1", "z": "fp0|fp1"},
+    fp_fma={"x": "fp0|fp1", "y": "fp0|fp1", "z": "fp0|fp1"},
+    fp_add_lat=3.0,
+    fp_mul_lat=3.0,
+    fp_fma_lat=4.0,
+    fp_add_lat_scalar=3.0,
+    fp_mul_lat_scalar=3.0,
+    fp_fma_lat_scalar=4.0,
+    fp_div_port="fp1",
+    div_cycles={"s": 5.0, "x": 4.0, "y": 5.0, "z": 10.0},
+    div_lat={"s": 13.0, "x": 13.0, "y": 13.0, "z": 13.0},
+    sqrt_cycles={"s": 6.0, "x": 5.0, "y": 7.0, "z": 14.0},
+    sqrt_lat={"s": 15.0, "x": 15.0, "y": 15.0, "z": 15.0},
+    fp_bool={"x": "fp0|fp1|fp2|fp3", "y": "fp0|fp1|fp2|fp3", "z": "fp0|fp1|fp2|fp3"},
+    shuffle={"x": "fp1|fp2", "y": "fp1|fp2", "z": "fp1|fp2"},
+    shuffle_lat=1.0,
+    cross_lane={"y": "fp1|fp2", "z": "fp1|fp2"},
+    cross_lane_lat=4.0,
+    vec_int={"x": "fp0|fp1|fp2|fp3", "y": "fp0|fp1|fp2|fp3", "z": "fp0|fp1|fp2|fp3"},
+    vec_int_lat=1.0,
+    transfer="fp1",
+    transfer_lat=3.0,
+    cvt={"x": "fp2|fp3", "y": "fp2|fp3", "z": "fp2|fp3"},
+    cvt_lat=4.0,
+    fp_cmp_lat=3.0,
+    gather={"x": (4.0, 13.0), "y": (4.0, 13.0), "z": (8.0, 15.0)},
+    gather_extra_ports="fp1|fp2",
+    mask_ports="fp0|fp1|fp2|fp3",
+    mask_lat=1.0,
+    # 512-bit ops are double-pumped into two 256-bit µops
+    uops_per_op={"x": 1, "y": 1, "z": 2},
+    has_avx512=True,
+)
+
+ZEN4 = MachineModel(
+    name="zen4",
+    isa="x86",
+    ports=(
+        "alu0", "alu1", "alu2", "alu3",
+        "agu0", "agu1", "agu2",
+        "fp0", "fp1", "fp2", "fp3",
+        "br0", "br1",
+    ),
+    entries=build_x86_entries(PARAMS),
+    load_ports=("agu0", "agu1"),
+    store_agu_ports=("agu2",),
+    store_data_ports=(),
+    load_latency_gpr=4.0,
+    load_latency_vec=7.0,
+    load_width_bytes=32,
+    store_width_bytes=32,
+    dispatch_width=6,
+    retire_width=8,
+    rob_size=320,
+    scheduler_size=128,
+    load_buffer=88,
+    store_buffer=64,
+    move_elimination=True,
+    zero_idioms=True,
+    simd_width_bytes=32,
+    int_alu_ports=("alu0", "alu1", "alu2", "alu3"),
+    fp_ports=("fp0", "fp1", "fp2", "fp3"),
+    branch_ports=("br0", "br1"),
+    description=(
+        "AMD Zen 4 core as in Genoa (EPYC 9684X): 13 ports, 4 FP pipes "
+        "of 256 bit (AVX-512 double-pumped), 320-entry ROB, 6-wide "
+        "dispatch."
+    ),
+)

@@ -1,0 +1,48 @@
+"""The measurement substrate: simulated hardware.
+
+The paper validates its models against measurements on physical Grace,
+Sapphire Rapids, and Genoa machines.  Those machines are replaced here
+by simulators parameterized with the same microarchitectural data:
+
+* :mod:`~repro.simulator.core` — cycle-level out-of-order core
+  (dispatch, renaming, greedy port binding, finite ROB, divider
+  serialization).  Produces the "measured" cycles/iteration that the
+  static models are validated against.
+* :mod:`~repro.simulator.memory` — line-granular cache hierarchy with
+  write-allocate policy hooks (always / cache-line claim / SpecI2M) and
+  non-temporal store handling (Fig. 4).
+* :mod:`~repro.simulator.frequency` — package-power frequency governor
+  (Fig. 2).
+* :mod:`~repro.simulator.multicore` — bandwidth saturation and
+  node-level scaling (Table I, Fig. 4).
+* :mod:`~repro.simulator.counters` — a LIKWID-like counter facade.
+"""
+
+from .core import CoreSimulator, SimulationResult, TraceEvent, simulate_kernel
+from .timeline import render_timeline, timeline
+from .frequency import FrequencyGovernor, sustained_frequency
+from .memory import CacheHierarchy, CacheLevel, WritePolicyStats
+from .multicore import BandwidthModel, StoreBenchmarkResult, run_store_benchmark
+from .counters import PerfCounters
+from .coupled import CoupledResult, MemoryCoupledSimulator, simulate_with_memory
+
+__all__ = [
+    "CoreSimulator",
+    "SimulationResult",
+    "TraceEvent",
+    "simulate_kernel",
+    "render_timeline",
+    "timeline",
+    "FrequencyGovernor",
+    "sustained_frequency",
+    "CacheHierarchy",
+    "CacheLevel",
+    "WritePolicyStats",
+    "BandwidthModel",
+    "StoreBenchmarkResult",
+    "run_store_benchmark",
+    "PerfCounters",
+    "CoupledResult",
+    "MemoryCoupledSimulator",
+    "simulate_with_memory",
+]

@@ -1,0 +1,105 @@
+"""Package-power frequency governor (reproduces the paper's Fig. 2).
+
+Sustained clock frequency under arithmetic-heavy load is modeled as a
+package power budget shared by the active cores:
+
+.. math::
+
+    n \\cdot c_{isa} \\cdot f^3 + P_{uncore} \\le TDP
+
+solved for ``f`` and clamped to the per-ISA frequency cap (turbo or
+AVX license limit) and the chip's floor frequency.  The cubic law is
+the standard dynamic-power approximation (``P ∝ C V² f`` with ``V ∝
+f``).  Coefficients per chip live in
+:mod:`repro.machine.specs` and are calibrated to the paper's observed
+endpoints:
+
+* **GCS** — flat 3.4 GHz for every ISA class and core count,
+* **SPR** — 3.0 GHz sustained for SSE/AVX (78 % of turbo), collapsing
+  to the 2.0 GHz base for AVX-512-heavy code (53 % of turbo),
+* **Genoa** — identical for all ISA widths, decaying to 3.1 GHz at
+  full socket (84 % of turbo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.specs import ChipSpec, FrequencySpec, get_chip_spec
+
+
+@dataclass
+class FrequencyGovernor:
+    """Frequency model for one chip."""
+
+    spec: FrequencySpec
+    cores: int
+
+    @classmethod
+    def for_chip(cls, chip: str | ChipSpec) -> "FrequencyGovernor":
+        s = chip if isinstance(chip, ChipSpec) else get_chip_spec(chip)
+        return cls(spec=s.frequency, cores=s.cores)
+
+    def isa_classes(self) -> tuple[str, ...]:
+        return tuple(self.spec.power_coeff)
+
+    def sustained(self, n_active: int, isa_class: str) -> float:
+        """Sustained frequency (GHz) with ``n_active`` busy cores."""
+        if n_active < 1:
+            raise ValueError("need at least one active core")
+        if n_active > self.cores:
+            raise ValueError(
+                f"{n_active} active cores exceeds chip core count {self.cores}"
+            )
+        try:
+            coeff = self.spec.power_coeff[isa_class]
+            cap = self.spec.freq_cap[isa_class]
+        except KeyError:
+            raise ValueError(
+                f"unknown ISA class {isa_class!r}; "
+                f"known: {sorted(self.spec.power_coeff)}"
+            ) from None
+        budget = self.spec.tdp - self.spec.p_uncore
+        if budget <= 0:  # pragma: no cover - misconfigured spec
+            return self.spec.freq_floor
+        f_power = (budget / (n_active * coeff)) ** (1.0 / 3.0)
+        return max(self.spec.freq_floor, min(cap, f_power))
+
+    def curve(self, isa_class: str) -> list[tuple[int, float]]:
+        """(active cores, sustained GHz) across the whole chip."""
+        return [(n, self.sustained(n, isa_class)) for n in range(1, self.cores + 1)]
+
+    def package_power(self, n_active: int, isa_class: str) -> float:
+        """Package power (W) drawn at the sustained operating point.
+
+        Below the TDP ceiling when the frequency cap (not the power
+        budget) limits the cores; pinned to ~TDP once the governor is
+        the limiter.
+        """
+        f = self.sustained(n_active, isa_class)
+        coeff = self.spec.power_coeff[isa_class]
+        return self.spec.p_uncore + n_active * coeff * f ** 3
+
+    def achievable_peak_tflops(
+        self, chip: ChipSpec, isa_class: str | None = None
+    ) -> float:
+        """Peak DP TFLOP/s at the frequency sustained by a full socket.
+
+        This is the paper's "achievable DP peak" (Table I): theoretical
+        FLOPs/cycle at the *sustained*, not nominal, frequency.
+        """
+        isa = isa_class or self._widest_isa()
+        f = self.sustained(self.cores, isa)
+        return chip.cores * f * chip.dp_flops_per_cycle / 1000.0
+
+    def _widest_isa(self) -> str:
+        order = ("avx512", "sve", "avx", "neon", "sse", "scalar")
+        for isa in order:
+            if isa in self.spec.power_coeff:
+                return isa
+        return next(iter(self.spec.power_coeff))
+
+
+def sustained_frequency(chip: str, n_active: int, isa_class: str) -> float:
+    """Convenience wrapper: sustained GHz for a chip alias."""
+    return FrequencyGovernor.for_chip(chip).sustained(n_active, isa_class)

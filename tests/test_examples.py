@@ -1,0 +1,49 @@
+"""Examples stay runnable (the fast ones run as subprocesses)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "frequency_capping.py",
+    "roofline_ecm.py",
+    "wa_evasion_study.py",
+    "node_scaling.py",
+    "port_model_discovery.py",
+    "model_editing.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_accepts_arch_argument():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "spr"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "golden_cove" in proc.stdout
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "stencil_model_validation.py",
+            "wa_evasion_study.py"} <= names
+    assert len(names) >= 7

@@ -1,0 +1,73 @@
+"""Extension experiments (energy, scaling, topdown) and package power."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, render_experiment
+from repro.bench.extensions import (
+    run_energy,
+    run_scaling,
+    run_topdown,
+)
+from repro.machine import get_chip_spec
+from repro.simulator.frequency import FrequencyGovernor
+
+
+class TestPackagePower:
+    def test_full_socket_near_tdp_when_governed(self):
+        # SPR AVX-512 at full socket is power-limited: package ~= TDP
+        gov = FrequencyGovernor.for_chip("spr")
+        assert gov.package_power(52, "avx512") == pytest.approx(350.0, rel=0.02)
+
+    def test_cap_limited_point_below_tdp(self):
+        # one SPR core at its 3.8 GHz cap draws far less than TDP
+        gov = FrequencyGovernor.for_chip("spr")
+        assert gov.package_power(1, "scalar") < 100.0
+
+    def test_gcs_never_reaches_tdp(self):
+        gov = FrequencyGovernor.for_chip("gcs")
+        assert gov.package_power(72, "sve") < get_chip_spec("gcs").tdp
+
+    def test_power_monotone_in_cores(self):
+        gov = FrequencyGovernor.for_chip("genoa")
+        powers = [gov.package_power(n, "avx") for n in (1, 24, 48, 96)]
+        assert all(a <= b + 1e-9 for a, b in zip(powers, powers[1:]))
+
+
+class TestEnergyStudy:
+    def test_grace_most_efficient(self):
+        """250 W for 3.9 TFlop/s: Grace leads GFLOP/s/W (its design
+        point); SPR's AVX-512 down-clock makes it the least efficient."""
+        rows = {r.chip: r for r in run_energy()}
+        assert rows["gcs"].gflops_per_watt > rows["genoa"].gflops_per_watt
+        assert rows["genoa"].gflops_per_watt > rows["spr"].gflops_per_watt
+
+    def test_render(self):
+        assert "GFlop/s/W" in render_experiment("ext_energy")
+
+
+class TestScalingStudy:
+    def test_winners(self):
+        result = run_scaling()
+        assert max(result["striad"], key=result["striad"].get) == "gcs"
+        assert max(result["pi"], key=result["pi"].get) == "genoa"
+
+    def test_render(self):
+        text = render_experiment("ext_scaling")
+        assert "winner" in text and "striad" in text
+
+
+class TestTopdownStudy:
+    def test_classes_attributed(self):
+        rows = {(c, k): d for c, k, d, _ in run_topdown()}
+        assert rows[("spr", "striad")] == "ports"
+        assert rows[("spr", "pi")] == "divider"
+        assert rows[("gcs", "sum")] == "dependencies"
+
+    def test_render(self):
+        assert "dominant limiter" in render_experiment("ext_topdown")
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for name in ("ext_energy", "ext_scaling", "ext_topdown"):
+            assert name in EXPERIMENTS

@@ -1,0 +1,102 @@
+"""Frequency governor model (Fig. 2 physics)."""
+
+import pytest
+
+from repro.machine import get_chip_spec
+from repro.simulator.frequency import FrequencyGovernor, sustained_frequency
+
+
+class TestEndpoints:
+    """The paper's Fig. 2 observations."""
+
+    def test_gcs_flat_at_base(self):
+        gov = FrequencyGovernor.for_chip("gcs")
+        for isa in ("scalar", "neon", "sve"):
+            assert gov.sustained(1, isa) == pytest.approx(3.4)
+            assert gov.sustained(72, isa) == pytest.approx(3.4)
+
+    def test_spr_avx512_hits_base_at_full_socket(self):
+        assert sustained_frequency("spr", 52, "avx512") == pytest.approx(2.0, abs=0.05)
+
+    def test_spr_avx_sustains_3ghz(self):
+        assert sustained_frequency("spr", 52, "avx") == pytest.approx(3.0, abs=0.1)
+        assert sustained_frequency("spr", 52, "sse") == pytest.approx(3.0, abs=0.1)
+
+    def test_spr_avx512_licensed_below_turbo_from_start(self):
+        # "a different behavior right from the start for AVX-512" (paper)
+        assert sustained_frequency("spr", 1, "avx512") < sustained_frequency("spr", 1, "avx")
+
+    def test_genoa_uniform_across_isa(self):
+        for n in (1, 48, 96):
+            f_sse = sustained_frequency("genoa", n, "sse")
+            f_512 = sustained_frequency("genoa", n, "avx512")
+            assert f_sse == pytest.approx(f_512)
+
+    def test_genoa_full_socket_3p1(self):
+        assert sustained_frequency("genoa", 96, "avx512") == pytest.approx(3.1, abs=0.05)
+
+    def test_single_core_turbo(self):
+        assert sustained_frequency("spr", 1, "scalar") == pytest.approx(3.8)
+        assert sustained_frequency("genoa", 1, "avx") == pytest.approx(3.7)
+
+
+class TestModelProperties:
+    @pytest.mark.parametrize("chip", ["gcs", "spr", "genoa"])
+    def test_monotonically_non_increasing(self, chip):
+        gov = FrequencyGovernor.for_chip(chip)
+        for isa in gov.isa_classes():
+            curve = [f for _, f in gov.curve(isa)]
+            assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    @pytest.mark.parametrize("chip", ["gcs", "spr", "genoa"])
+    def test_never_below_floor_or_above_cap(self, chip):
+        spec = get_chip_spec(chip)
+        gov = FrequencyGovernor.for_chip(chip)
+        for isa in gov.isa_classes():
+            for n, f in gov.curve(isa):
+                assert spec.frequency.freq_floor - 1e-12 <= f
+                assert f <= spec.frequency.freq_cap[isa] + 1e-12
+
+    def test_bad_core_counts(self):
+        gov = FrequencyGovernor.for_chip("spr")
+        with pytest.raises(ValueError):
+            gov.sustained(0, "avx")
+        with pytest.raises(ValueError):
+            gov.sustained(53, "avx")
+
+    def test_unknown_isa_class(self):
+        with pytest.raises(ValueError):
+            sustained_frequency("spr", 1, "neon")
+
+    def test_curve_length(self):
+        assert len(FrequencyGovernor.for_chip("genoa").curve("avx")) == 96
+
+
+class TestAchievablePeak:
+    """Table I's 'achievable DP peak' row."""
+
+    def test_gcs(self):
+        spec = get_chip_spec("gcs")
+        peak = FrequencyGovernor.for_chip(spec).achievable_peak_tflops(spec)
+        assert peak == pytest.approx(3.92, abs=0.15)  # paper: 3.82
+
+    def test_spr(self):
+        spec = get_chip_spec("spr")
+        peak = FrequencyGovernor.for_chip(spec).achievable_peak_tflops(spec)
+        assert peak == pytest.approx(3.49, abs=0.3)
+
+    def test_genoa(self):
+        spec = get_chip_spec("genoa")
+        peak = FrequencyGovernor.for_chip(spec).achievable_peak_tflops(spec)
+        assert peak == pytest.approx(5.1, abs=0.5)
+
+    def test_achievable_below_theoretical(self):
+        for chip in ("spr", "genoa"):
+            spec = get_chip_spec(chip)
+            gov = FrequencyGovernor.for_chip(spec)
+            assert gov.achievable_peak_tflops(spec) < spec.theoretical_peak_tflops
+
+    def test_theoretical_peaks_match_paper(self):
+        assert get_chip_spec("gcs").theoretical_peak_tflops == pytest.approx(3.92, abs=0.05)
+        assert get_chip_spec("spr").theoretical_peak_tflops == pytest.approx(6.32, abs=0.05)
+        assert get_chip_spec("genoa").theoretical_peak_tflops == pytest.approx(8.52, abs=0.05)

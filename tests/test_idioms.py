@@ -1,0 +1,50 @@
+"""Zero-idiom recognition."""
+
+import pytest
+
+from repro.isa import parse_kernel
+from repro.isa.idioms import is_zero_idiom
+
+
+def one(asm, isa="x86"):
+    return parse_kernel(asm, isa)[0]
+
+
+@pytest.mark.parametrize("asm", [
+    "xorl %eax, %eax",
+    "xorq %r10, %r10",
+    "pxor %xmm3, %xmm3",
+    "vpxor %ymm1, %ymm1, %ymm1",
+    "vxorps %xmm0, %xmm0, %xmm0",
+    "vxorpd %zmm5, %zmm5, %zmm5",
+    "subq %rax, %rax",
+])
+def test_recognized_zero_idioms(asm):
+    assert is_zero_idiom(one(asm))
+
+
+@pytest.mark.parametrize("asm", [
+    "xorq %rax, %rbx",          # distinct registers
+    "vxorpd %ymm0, %ymm1, %ymm0",
+    "vsubpd %ymm0, %ymm0, %ymm0",  # FP subtract: NaN semantics
+    "subsd %xmm0, %xmm0",
+    "addq %rax, %rax",          # not an idiom op
+    "vxorpd %ymm0, %ymm0, %ymm1",  # hmm: sources equal but dst differs
+])
+def test_rejected_cases(asm):
+    i = one(asm)
+    # the last case zeroes ymm1 — all register roots must be identical
+    assert not is_zero_idiom(i) or len({o.root for o in i.operands}) == 1
+
+
+def test_aliasing_widths_count_as_same_register():
+    # xor %eax, %eax zeroes rax; roots match through aliasing
+    assert is_zero_idiom(one("xorl %eax, %eax"))
+
+
+def test_aarch64_has_no_zero_idioms():
+    assert not is_zero_idiom(one("eor x0, x0, x0", "aarch64"))
+
+
+def test_memory_operand_disqualifies():
+    assert not is_zero_idiom(one("xorq (%rax), %rbx"))

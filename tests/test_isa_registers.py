@@ -1,0 +1,137 @@
+"""Register classification and aliasing rules."""
+
+import pytest
+
+from repro.isa.operands import RegisterClass
+from repro.isa.registers import (
+    is_register_name,
+    is_zero_register,
+    make_register,
+    register_info,
+    registers_alias,
+    root_register,
+)
+
+
+class TestX86GPR:
+    def test_rax_is_64_bit_root(self):
+        assert register_info("rax", "x86") == (RegisterClass.GPR, 64, "rax")
+
+    def test_eax_aliases_rax(self):
+        assert root_register("eax", "x86") == "rax"
+        assert register_info("eax", "x86")[1] == 32
+
+    @pytest.mark.parametrize("name,root,width", [
+        ("ax", "rax", 16), ("al", "rax", 8), ("ah", "rax", 8),
+        ("bl", "rbx", 8), ("spl", "rsp", 8), ("sil", "rsi", 8),
+        ("r8d", "r8", 32), ("r15w", "r15", 16), ("r10b", "r10", 8),
+        ("ebp", "rbp", 32), ("di", "rdi", 16),
+    ])
+    def test_narrow_aliases(self, name, root, width):
+        cls, w, r = register_info(name, "x86")
+        assert (cls, w, r) == (RegisterClass.GPR, width, root)
+
+    def test_all_16_gprs_resolve(self):
+        for base in ["rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi"]:
+            assert register_info(base, "x86")[2] == base
+        for n in range(8, 16):
+            assert register_info(f"r{n}", "x86")[2] == f"r{n}"
+
+    def test_distinct_gprs_do_not_alias(self):
+        assert not registers_alias("rax", "rbx", "x86")
+        assert registers_alias("eax", "al", "x86")
+
+
+class TestX86Vector:
+    @pytest.mark.parametrize("name,width", [
+        ("xmm0", 128), ("ymm0", 256), ("zmm0", 512), ("zmm31", 512),
+        ("xmm15", 128), ("ymm17", 256),
+    ])
+    def test_vector_widths(self, name, width):
+        cls, w, _ = register_info(name, "x86")
+        assert cls is RegisterClass.VEC
+        assert w == width
+
+    def test_xmm_ymm_zmm_alias(self):
+        assert registers_alias("xmm3", "ymm3", "x86")
+        assert registers_alias("ymm3", "zmm3", "x86")
+        assert not registers_alias("xmm3", "xmm4", "x86")
+
+    def test_mask_registers(self):
+        cls, _, root = register_info("k1", "x86")
+        assert cls is RegisterClass.MASK
+        assert root == "k1"
+
+    def test_rip_and_flags(self):
+        assert register_info("rip", "x86")[0] is RegisterClass.IP
+        assert register_info("rflags", "x86")[0] is RegisterClass.FLAGS
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(ValueError):
+            register_info("xmm32", "x86")
+        with pytest.raises(ValueError):
+            register_info("foo", "x86")
+
+
+class TestAArch64:
+    def test_x_and_w_alias(self):
+        assert registers_alias("x5", "w5", "aarch64")
+        assert register_info("w5", "aarch64")[1] == 32
+
+    def test_zero_registers(self):
+        assert is_zero_register("xzr", "aarch64")
+        assert is_zero_register("wzr", "aarch64")
+        assert not is_zero_register("x0", "aarch64")
+        assert register_info("xzr", "aarch64")[0] is RegisterClass.ZERO
+
+    def test_sp(self):
+        assert register_info("sp", "aarch64")[2] == "sp"
+
+    def test_neon_and_sve_alias(self):
+        # z7's low 128 bits are v7
+        assert registers_alias("v7", "z7", "aarch64")
+        assert registers_alias("d7", "z7", "aarch64")
+        assert registers_alias("q7", "v7", "aarch64")
+        assert not registers_alias("v7", "v8", "aarch64")
+
+    @pytest.mark.parametrize("name,width", [
+        ("b3", 8), ("h3", 16), ("s3", 32), ("d3", 64), ("q3", 128),
+    ])
+    def test_fp_scalar_views(self, name, width):
+        cls, w, root = register_info(name, "aarch64")
+        assert cls is RegisterClass.VEC
+        assert w == width
+        assert root == "z3"
+
+    def test_predicates(self):
+        cls, _, root = register_info("p7", "aarch64")
+        assert cls is RegisterClass.PRED
+        assert root == "p7"
+        with pytest.raises(ValueError):
+            register_info("p16", "aarch64")
+
+    def test_nzcv(self):
+        assert register_info("nzcv", "aarch64")[0] is RegisterClass.FLAGS
+
+    def test_unknown_isa(self):
+        with pytest.raises(ValueError):
+            register_info("x0", "riscv")
+
+
+class TestHelpers:
+    def test_make_register_predication(self):
+        r = make_register("p0", "aarch64", predication="m")
+        assert r.predication == "m"
+        assert r.reg_class is RegisterClass.PRED
+
+    def test_make_register_arrangement(self):
+        r = make_register("v2", "aarch64", arrangement="2d")
+        assert str(r) == "v2.2d"
+
+    def test_is_register_name(self):
+        assert is_register_name("rax", "x86")
+        assert not is_register_name("rax", "aarch64")
+        assert is_register_name("z31", "aarch64")
+
+    def test_alias_with_invalid_name_is_false(self):
+        assert not registers_alias("rax", "notareg", "x86")

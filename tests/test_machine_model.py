@@ -1,0 +1,200 @@
+"""MachineModel resolution mechanics (lookup, folding, widths, idioms)."""
+
+import pytest
+
+from repro.isa import parse_kernel
+from repro.machine import get_machine_model
+from repro.machine.model import (
+    InstrEntry,
+    MachineModel,
+    UnknownInstructionError,
+    Uop,
+    uop,
+)
+
+
+@pytest.fixture(scope="module")
+def spr():
+    return get_machine_model("spr")
+
+
+@pytest.fixture(scope="module")
+def zen4():
+    return get_machine_model("zen4")
+
+
+@pytest.fixture(scope="module")
+def grace():
+    return get_machine_model("grace")
+
+
+def one(asm, isa):
+    return parse_kernel(asm, isa)[0]
+
+
+class TestUop:
+    def test_uop_string_constructor(self):
+        u = uop("0|1|5")
+        assert u.ports == ("0", "1", "5")
+
+    def test_uop_requires_ports(self):
+        with pytest.raises(ValueError):
+            Uop(ports=())
+
+
+class TestLookup:
+    def test_exact_signature(self, spr):
+        r = spr.resolve(one("vaddpd %ymm1, %ymm2, %ymm3", "x86"))
+        assert not r.from_default
+        assert r.latency == 2.0
+
+    def test_size_suffix_stripped(self, spr):
+        r = spr.resolve(one("addq $8, %rcx", "x86"))
+        assert not r.from_default
+        assert r.uops[0].ports == ("0", "1", "5", "6", "10")
+
+    def test_memory_folding_to_register_form(self, spr):
+        r = spr.resolve(one("vfmadd231pd (%rax), %ymm1, %ymm2", "x86"))
+        assert not r.from_default
+        assert r.n_loads == 1
+        # FMA uop + load uop
+        assert len(r.uops) == 2
+
+    def test_pure_load_has_only_memory_uops(self, spr):
+        r = spr.resolve(one("vmovupd (%rax), %ymm0", "x86"))
+        assert r.n_loads == 1
+        assert all(set(u.ports) <= set(spr.load_ports) for u in r.uops)
+        assert r.load_latency == spr.load_latency_vec
+
+    def test_gpr_load_latency(self, spr):
+        r = spr.resolve(one("movq (%rax), %rbx", "x86"))
+        assert r.load_latency == spr.load_latency_gpr
+
+    def test_store_gets_agu_and_data_uops(self, spr):
+        r = spr.resolve(one("vmovupd %ymm0, (%rax)", "x86"))
+        ports = {p for u in r.uops for p in u.ports}
+        assert ports <= set(spr.store_agu_ports) | set(spr.store_data_ports)
+
+    def test_unknown_falls_back_to_default(self, spr):
+        r = spr.resolve(one("fictionalop %rax, %rbx", "x86"))
+        assert r.from_default
+
+    def test_strict_mode_raises(self, spr):
+        with pytest.raises(UnknownInstructionError):
+            spr.resolve(one("fictionalop %rax, %rbx", "x86"), strict=True)
+
+    def test_wildcard_mnemonic_matches_jcc(self, spr):
+        r = spr.resolve(one("jnb .L1", "x86"))
+        assert not r.from_default
+        assert r.uops[0].ports == ("0", "6")
+
+
+class TestWidthAwareFolding:
+    def test_zmm_load_uses_wide_ports(self, spr):
+        r = spr.resolve(one("vmovupd (%rax), %zmm0", "x86"))
+        assert all(u.ports == ("2", "3") for u in r.uops)
+
+    def test_narrow_load_uses_all_ports(self, spr):
+        r = spr.resolve(one("vmovupd (%rax), %ymm0", "x86"))
+        assert all(u.ports == ("2", "3", "11") for u in r.uops)
+
+    def test_zmm_store_splits_on_spr(self, spr):
+        r = spr.resolve(one("vmovupd %zmm0, (%rax)", "x86"))
+        data_uops = [u for u in r.uops if set(u.ports) <= set(spr.store_data_ports)]
+        assert len(data_uops) == 2
+
+    def test_zmm_load_splits_on_zen4(self, zen4):
+        r = zen4.resolve(one("vmovupd (%rax), %zmm0", "x86"))
+        load_uops = [u for u in r.uops if set(u.ports) <= set(zen4.load_ports)]
+        assert len(load_uops) == 2
+
+    def test_ymm_load_single_uop_on_zen4(self, zen4):
+        r = zen4.resolve(one("vmovupd (%rax), %ymm0", "x86"))
+        assert len(r.uops) == 1
+
+    def test_zen4_zmm_arith_double_pumped(self, zen4):
+        r = zen4.resolve(one("vaddpd %zmm1, %zmm2, %zmm3", "x86"))
+        assert len(r.uops) == 2
+
+    def test_zen4_ymm_arith_single_uop(self, zen4):
+        r = zen4.resolve(one("vaddpd %ymm1, %ymm2, %ymm3", "x86"))
+        assert len(r.uops) == 1
+
+
+class TestRenamerIdioms:
+    def test_zero_idiom_eliminated(self, spr):
+        r = spr.resolve(one("vxorpd %ymm0, %ymm0, %ymm0", "x86"))
+        assert r.uops == ()
+        assert r.latency == 0.0
+
+    def test_zero_idiom_with_distinct_regs_not_eliminated(self, spr):
+        r = spr.resolve(one("vxorpd %ymm0, %ymm1, %ymm2", "x86"))
+        assert r.uops != ()
+
+    def test_move_elimination(self, spr):
+        r = spr.resolve(one("movq %rax, %rbx", "x86"))
+        assert r.uops == ()
+
+    def test_v2_has_no_x86_zero_idioms(self, grace):
+        assert grace.zero_idioms is False
+
+
+class TestAArch64Resolution:
+    def test_writeback_adds_int_uop(self, grace):
+        r = grace.resolve(one("str q0, [x1], #16", "aarch64"))
+        int_uops = [u for u in r.uops if set(u.ports) <= set(grace.int_alu_ports)]
+        assert len(int_uops) == 1
+
+    def test_gather_has_throughput_cap_and_full_latency(self, grace):
+        r = grace.resolve(one("ld1d z0.d, p0/z, [x0, z1.d, lsl #3]", "aarch64"))
+        assert r.throughput == 1.0
+        assert r.total_latency == 9.0  # no extra load-to-use added
+
+    def test_regular_sve_load(self, grace):
+        r = grace.resolve(one("ld1d z0.d, p0/z, [x0, x1, lsl #3]", "aarch64"))
+        assert r.throughput is None
+        assert r.total_latency == grace.load_latency_vec
+
+    def test_fdiv_uses_divider(self, grace):
+        r = grace.resolve(one("fdiv v0.2d, v1.2d, v2.2d", "aarch64"))
+        assert r.divider == 5.0
+
+    def test_signature_codes(self, grace):
+        i = one("fmla z2.d, p0/m, z0.d, z1.d", "aarch64")
+        assert grace.signature(i) == "v,p,v,v"
+        i = one("fadd v0.2d, v1.2d, v2.2d", "aarch64")
+        assert grace.signature(i) == "q,q,q"
+        i = one("fmadd d0, d1, d2, d3", "aarch64")
+        assert grace.signature(i) == "s,s,s,s"
+
+
+class TestConstruction:
+    def test_memory_port_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                name="bad",
+                isa="x86",
+                ports=("0",),
+                entries=[],
+                load_ports=("9",),
+            )
+
+    def test_coverage_report(self, spr):
+        instrs = parse_kernel(
+            "vaddpd %ymm0, %ymm1, %ymm2\nfictionalop %rax, %rbx\n", "x86"
+        )
+        cov = spr.coverage(instrs)
+        assert cov["total"] == 2
+        assert cov["known"] == 1
+        assert len(cov["missing"]) == 1
+
+    def test_add_entries_reindexes(self, spr):
+        m = MachineModel(name="t", isa="x86", ports=("0",), entries=[])
+        m.add_entries([InstrEntry("weirdop", "r,r", (uop("0"),), latency=7.0)])
+        i = one("weirdop %rax, %rbx", "x86")
+        assert m.resolve(i).latency == 7.0
+
+    def test_access_bytes(self, spr):
+        assert spr._access_bytes(one("vmovupd (%rax), %zmm0", "x86")) == 64
+        assert spr._access_bytes(one("vmovupd (%rax), %ymm0", "x86")) == 32
+        assert spr._access_bytes(one("movq (%rax), %rbx", "x86")) == 8

@@ -1,0 +1,146 @@
+"""Kernel extraction from full assembly listings."""
+
+import pytest
+
+from repro.isa.markers import extract_kernel
+
+FULL_FILE = """
+    .text
+    .globl triad
+triad:
+    pushq %rbp
+    xorl %ecx, %ecx
+    testq %rsi, %rsi
+    jz .Ldone
+.L4:
+    vmovupd (%rax,%rcx,8), %ymm0
+    vfmadd231pd (%rbx,%rcx,8), %ymm1, %ymm0
+    vmovupd %ymm0, (%rdx,%rcx,8)
+    addq $4, %rcx
+    cmpq %rsi, %rcx
+    jb .L4
+.Ldone:
+    popq %rbp
+    ret
+"""
+
+
+class TestHeuristic:
+    def test_finds_innermost_loop(self):
+        k = extract_kernel(FULL_FILE, "x86")
+        assert k.method == "heuristic"
+        assert "vfmadd231pd" in k.source
+        assert "pushq" not in k.source
+        assert "ret" not in k.source
+
+    def test_loop_includes_label_and_branch(self):
+        k = extract_kernel(FULL_FILE, "x86")
+        assert ".L4:" in k.source
+        assert "jb .L4" in k.source
+
+    def test_nested_loops_prefer_inner(self):
+        src = """
+.Louter:
+    movq %r8, %r9
+.Linner:
+    vaddpd %ymm0, %ymm1, %ymm2
+    addq $4, %rcx
+    cmpq %rsi, %rcx
+    jb .Linner
+    addq $1, %r10
+    cmpq %r11, %r10
+    jb .Louter
+"""
+        k = extract_kernel(src, "x86")
+        assert "vaddpd" in k.source
+        assert ".Louter" not in k.source.split(":")[0]
+
+    def test_aarch64_loop(self):
+        src = """
+fn:
+    mov x15, #100
+.L4:
+    ldr q0, [x1], #16
+    fadd v1.2d, v0.2d, v2.2d
+    str q1, [x0], #16
+    subs x15, x15, #2
+    b.ne .L4
+    ret
+"""
+        k = extract_kernel(src, "aarch64")
+        assert k.method == "heuristic"
+        assert "fadd" in k.source and "ret" not in k.source
+
+    def test_no_loop_returns_whole(self):
+        src = "vaddpd %ymm0, %ymm1, %ymm2\nvmulpd %ymm2, %ymm3, %ymm4\n"
+        k = extract_kernel(src, "x86")
+        assert k.method == "whole"
+        assert k.source == src
+
+
+class TestMarkers:
+    def test_osaca_markers(self):
+        src = """
+    pushq %rbp
+    # OSACA-BEGIN
+    vaddpd %ymm0, %ymm1, %ymm2
+    addq $4, %rcx
+    # OSACA-END
+    ret
+"""
+        k = extract_kernel(src, "x86")
+        assert k.method == "osaca"
+        assert "vaddpd" in k.source
+        assert "pushq" not in k.source and "ret" not in k.source
+
+    def test_osaca_markers_beat_heuristic(self):
+        src = """
+    # OSACA-BEGIN
+    vmulpd %ymm0, %ymm1, %ymm2
+    # OSACA-END
+.L9:
+    addq $1, %rcx
+    jb .L9
+"""
+        k = extract_kernel(src, "x86")
+        assert k.method == "osaca"
+        assert "vmulpd" in k.source
+
+    def test_iaca_markers(self):
+        src = """
+    movl $111, %ebx
+    .byte 100,103,144
+    vaddpd %ymm0, %ymm1, %ymm2
+    movl $222, %ebx
+    .byte 100,103,144
+"""
+        k = extract_kernel(src, "x86")
+        assert k.method == "iaca"
+        assert k.source.strip() == "vaddpd %ymm0, %ymm1, %ymm2"
+
+    def test_end_to_end_analysis_of_full_file(self):
+        from repro.analysis import analyze_kernel
+
+        k = extract_kernel(FULL_FILE, "x86")
+        r = analyze_kernel(k.source, "zen4")
+        assert r.prediction == pytest.approx(1.0)
+
+
+class TestCLIIntegration:
+    def test_cli_extracts_loop(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        f = tmp_path / "full.s"
+        f.write_text(FULL_FILE)
+        assert analyze_main([str(f), "--arch", "zen4"]) == 0
+        out = capsys.readouterr().out
+        assert "extracted loop body" in out
+        assert "pushq" not in out.split("Predicted")[0].split("|")[-1]
+
+    def test_cli_whole_file_flag(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        f = tmp_path / "full.s"
+        f.write_text(FULL_FILE)
+        assert analyze_main([str(f), "--arch", "zen4", "--whole-file"]) == 0
+        assert "extracted" not in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Cache hierarchy and write-allocate policy simulation."""
+
+import pytest
+
+from repro.machine import get_chip_spec
+from repro.simulator.memory import CacheHierarchy, CacheLevel, hierarchy_for_chip
+
+
+def small_hierarchy(policy="always", **kw):
+    levels = [
+        CacheLevel("L1", 1024, 64, 2),
+        CacheLevel("L2", 4096, 64, 4),
+        CacheLevel("L3", 16384, 64, 8),
+    ]
+    return CacheHierarchy(levels, wa_policy=policy, **kw)
+
+
+class TestCacheLevel:
+    def test_geometry(self):
+        c = CacheLevel("L1", 1024, 64, 2)
+        assert c.n_sets == 8
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1000, 64, 2)
+
+    def test_hit_after_insert(self):
+        c = CacheLevel("L1", 1024, 64, 2)
+        c.insert(5, dirty=False)
+        assert c.lookup(5)
+        assert c.hits == 1
+
+    def test_miss(self):
+        c = CacheLevel("L1", 1024, 64, 2)
+        assert not c.lookup(5)
+        assert c.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = CacheLevel("L1", 1024, 64, 2)  # 2 ways
+        a, b, d = 0, 8, 16  # same set (set = line % 8)
+        c.insert(a, False)
+        c.insert(b, False)
+        c.lookup(a)  # refresh a
+        evicted = c.insert(d, False)
+        assert evicted == (b, False)
+
+    def test_dirty_eviction_flag(self):
+        c = CacheLevel("L1", 1024, 64, 2)
+        c.insert(0, dirty=True)
+        c.insert(8, dirty=False)
+        evicted = c.insert(16, dirty=False)
+        assert evicted == (0, True)
+
+    def test_reinsert_merges_dirty(self):
+        c = CacheLevel("L1", 1024, 64, 2)
+        c.insert(0, dirty=False)
+        c.insert(0, dirty=True)
+        c.insert(8, dirty=False)
+        assert c.insert(16, dirty=False) == (0, True)
+
+
+class TestWriteAllocate:
+    def test_full_write_allocate_ratio_2(self):
+        h = small_hierarchy("always")
+        for i in range(1000):
+            h.store(i * 64, 64)
+        h.drain()
+        assert h.stats.traffic_ratio == pytest.approx(2.0, abs=0.01)
+
+    def test_cacheline_claim_near_1(self):
+        h = small_hierarchy("claim")
+        for i in range(1000):
+            h.store(i * 64, 64)
+        h.drain()
+        assert 1.0 <= h.stats.traffic_ratio < 1.01
+
+    def test_claim_needs_streaming_pattern(self):
+        h = small_hierarchy("claim")
+        # strided (non-consecutive) write misses: the detector never arms
+        for i in range(0, 4000, 4):
+            h.store(i * 64, 64)
+        h.drain()
+        assert h.stats.traffic_ratio == pytest.approx(2.0, abs=0.05)
+
+    def test_speci2m_off_when_not_saturated(self):
+        h = small_hierarchy("speci2m", speci2m_fraction=0.25)
+        h.bandwidth_saturated = False
+        for i in range(1000):
+            h.store(i * 64, 64)
+        h.drain()
+        assert h.stats.traffic_ratio == pytest.approx(2.0, abs=0.01)
+
+    def test_speci2m_reduces_when_saturated(self):
+        h = small_hierarchy("speci2m", speci2m_fraction=0.25)
+        h.bandwidth_saturated = True
+        for i in range(2000):
+            h.store(i * 64, 64)
+        h.drain()
+        assert h.stats.traffic_ratio == pytest.approx(1.75, abs=0.02)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            small_hierarchy("magic")
+
+    def test_store_hit_no_memory_traffic(self):
+        h = small_hierarchy("always")
+        h.store(0, 64)
+        reads = h.stats.mem_read_bytes
+        h.store(0, 64)  # hit
+        assert h.stats.mem_read_bytes == reads
+
+
+class TestNonTemporal:
+    def test_nt_bypasses_allocation(self):
+        h = small_hierarchy("always")
+        for i in range(500):
+            h.store(i * 64, 64, non_temporal=True)
+        assert h.stats.mem_write_bytes == 500 * 64
+        assert h.stats.mem_read_bytes == 0
+        assert h.stats.traffic_ratio == pytest.approx(1.0)
+
+    def test_nt_residual_reads(self):
+        h = small_hierarchy("always", nt_residual=0.10)
+        for i in range(1000):
+            h.store(i * 64, 64, non_temporal=True)
+        assert h.stats.traffic_ratio == pytest.approx(1.10, abs=0.01)
+
+    def test_nt_lines_counted(self):
+        h = small_hierarchy("always")
+        h.store(0, 128, non_temporal=True)
+        assert h.stats.nt_stores == 2
+
+
+class TestLoads:
+    def test_load_miss_reads_line(self):
+        h = small_hierarchy()
+        h.load(0, 8)
+        assert h.stats.mem_read_bytes == 64
+
+    def test_load_hit_no_traffic(self):
+        h = small_hierarchy()
+        h.load(0, 8)
+        h.load(8, 8)  # same line
+        assert h.stats.mem_read_bytes == 64
+
+    def test_load_spanning_lines(self):
+        h = small_hierarchy()
+        h.load(60, 8)  # crosses a 64 B boundary
+        assert h.stats.mem_read_bytes == 128
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = small_hierarchy()
+        # touch more lines than L1 holds but fewer than L2
+        for i in range(32):
+            h.load(i * 64, 8)
+        reads = h.stats.mem_read_bytes
+        h.load(0, 8)  # L1-evicted, L2 hit
+        assert h.stats.mem_read_bytes == reads
+
+    def test_write_back_on_dirty_eviction(self):
+        h = small_hierarchy("claim")
+        n = 600  # far beyond total capacity
+        for i in range(n):
+            h.store(i * 64, 64)
+        # all but the resident lines must have been written back already
+        resident = sum(lvl.size_bytes for lvl in h.levels) // 64
+        assert h.stats.mem_write_bytes >= (n - resident) * 64
+
+
+class TestChipHierarchy:
+    def test_hierarchy_for_chip_policies(self):
+        assert hierarchy_for_chip(get_chip_spec("gcs")).wa_policy == "claim"
+        assert hierarchy_for_chip(get_chip_spec("spr")).wa_policy == "speci2m"
+        assert hierarchy_for_chip(get_chip_spec("genoa")).wa_policy == "always"
+
+    def test_scaling_keeps_minimum(self):
+        h = hierarchy_for_chip(get_chip_spec("spr"), scale=1e-9)
+        for lvl in h.levels:
+            assert lvl.size_bytes >= 64 * 8
+
+    def test_nt_residual_from_spec(self):
+        assert hierarchy_for_chip(get_chip_spec("spr")).nt_residual == pytest.approx(0.10)
+        assert hierarchy_for_chip(get_chip_spec("genoa")).nt_residual == 0.0

@@ -1,0 +1,148 @@
+"""Bandwidth saturation and the Fig. 4 store benchmark."""
+
+import pytest
+
+from repro.machine import get_chip_spec
+from repro.simulator.multicore import (
+    BandwidthModel,
+    measured_socket_bandwidth,
+    run_store_benchmark,
+)
+
+
+class TestBandwidthModel:
+    def test_linear_then_saturated(self):
+        bw = BandwidthModel(bw_max=100.0, bw_single_core=30.0)
+        assert bw.achieved(1) == 30.0
+        assert bw.achieved(2) == 60.0
+        assert bw.achieved(4) == 100.0
+        assert bw.achieved(50) == 100.0
+
+    def test_store_streams_slower(self):
+        bw = BandwidthModel(bw_max=100.0, bw_single_core=30.0, store_bw_fraction=0.5)
+        assert bw.achieved(1, "store") == 15.0
+
+    def test_utilization_bounds(self):
+        bw = BandwidthModel(bw_max=100.0, bw_single_core=30.0)
+        assert 0.0 < bw.utilization(1) <= 1.0
+        assert bw.utilization(100) == 1.0
+
+    def test_for_chip_divides_by_domains(self):
+        spec = get_chip_spec("spr")
+        bw = BandwidthModel.for_chip(spec)
+        assert bw.bw_max == pytest.approx(spec.memory.bw_sustained / 4)
+
+
+class TestMeasuredBandwidth:
+    """Table I 'measured bandwidth' row."""
+
+    @pytest.mark.parametrize("chip,expected", [
+        ("gcs", 467.0), ("spr", 273.0), ("genoa", 360.0),
+    ])
+    def test_full_socket_matches_paper(self, chip, expected):
+        assert measured_socket_bandwidth(chip) == pytest.approx(expected, rel=0.02)
+
+    def test_scales_with_cores(self):
+        b1 = measured_socket_bandwidth("gcs", 1)
+        b4 = measured_socket_bandwidth("gcs", 4)
+        assert b4 == pytest.approx(4 * b1)
+
+    def test_partial_domains_on_spr(self):
+        # 13 cores fill exactly one SNC domain
+        one_domain = measured_socket_bandwidth("spr", 13)
+        assert one_domain == pytest.approx(273.0 / 4, rel=0.02)
+
+
+class TestStoreBenchmark:
+    """Fig. 4 behaviour per chip."""
+
+    def test_gcs_always_near_one(self):
+        for n in (1, 8, 36, 72):
+            r = run_store_benchmark("gcs", n, working_set_lines=2048)
+            assert 1.0 <= r.traffic_ratio < 1.02
+
+    def test_genoa_standard_flat_two(self):
+        for n in (1, 48, 96):
+            r = run_store_benchmark("genoa", n, working_set_lines=2048)
+            assert r.traffic_ratio == pytest.approx(2.0, abs=0.02)
+
+    def test_genoa_nt_perfect(self):
+        for n in (1, 96):
+            r = run_store_benchmark("genoa", n, non_temporal=True,
+                                    working_set_lines=2048)
+            assert r.traffic_ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_spr_starts_at_two(self):
+        r = run_store_benchmark("spr", 1, working_set_lines=2048)
+        assert r.traffic_ratio == pytest.approx(2.0, abs=0.02)
+
+    def test_spr_saturated_drops_to_175(self):
+        r = run_store_benchmark("spr", 13, working_set_lines=4096)
+        assert r.traffic_ratio == pytest.approx(1.75, abs=0.03)
+
+    def test_spr_reduction_capped_at_25pct(self):
+        for n in (13, 26, 52):
+            r = run_store_benchmark("spr", n, working_set_lines=2048)
+            assert r.traffic_ratio >= 1.74
+
+    def test_spr_nt_residual(self):
+        r1 = run_store_benchmark("spr", 1, non_temporal=True, working_set_lines=2048)
+        r13 = run_store_benchmark("spr", 13, non_temporal=True, working_set_lines=2048)
+        assert r1.traffic_ratio == pytest.approx(1.0, abs=0.01)  # lone core drains
+        assert r13.traffic_ratio == pytest.approx(1.10, abs=0.02)
+
+    def test_monotone_spr_curve(self):
+        ratios = [
+            run_store_benchmark("spr", n, working_set_lines=2048).traffic_ratio
+            for n in range(1, 14)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            run_store_benchmark("spr", 0)
+        with pytest.raises(ValueError):
+            run_store_benchmark("spr", 53)
+
+    def test_result_metadata(self):
+        r = run_store_benchmark("genoa", 4, working_set_lines=1024)
+        assert r.chip == "genoa"
+        assert r.cores == 4
+        assert r.stored_bytes == 4 * 1024 * 64
+        assert 0.0 <= r.utilization <= 1.0
+
+
+class TestPinningPolicies:
+    def test_block_vs_spread_occupancy(self):
+        from repro.simulator.multicore import _domain_occupancy
+
+        assert _domain_occupancy(52, 16, 4, "block") == [13, 3]
+        assert _domain_occupancy(52, 16, 4, "spread") == [4, 4, 4, 4]
+        assert _domain_occupancy(52, 3, 4, "spread") == [1, 1, 1]
+
+    def test_spread_delays_speci2m(self):
+        """Scatter binding keeps every domain unsaturated longer, so
+        SpecI2M engages at higher total core counts than close binding."""
+        block = run_store_benchmark("spr", 8, working_set_lines=1024,
+                                    pinning="block").traffic_ratio
+        spread = run_store_benchmark("spr", 8, working_set_lines=1024,
+                                     pinning="spread").traffic_ratio
+        assert block < 1.8
+        assert spread == pytest.approx(2.0, abs=0.02)
+
+    def test_full_socket_pinning_equivalent(self):
+        for pin in ("block", "spread"):
+            r = run_store_benchmark("spr", 52, working_set_lines=1024,
+                                    pinning=pin)
+            assert r.traffic_ratio == pytest.approx(1.75, abs=0.03)
+
+    def test_single_domain_chips_unaffected(self):
+        a = run_store_benchmark("gcs", 36, working_set_lines=1024,
+                                pinning="block").traffic_ratio
+        b = run_store_benchmark("gcs", 36, working_set_lines=1024,
+                                pinning="spread").traffic_ratio
+        assert a == b
+
+    def test_unknown_pinning_raises(self):
+        with pytest.raises(ValueError):
+            run_store_benchmark("spr", 4, pinning="diagonal")

@@ -1,0 +1,180 @@
+"""AArch64 parser behaviour."""
+
+import pytest
+
+from repro.isa import parse_kernel
+from repro.isa.operands import Immediate, LabelOperand, MemoryOperand, Register
+from repro.isa.parser_base import ParseError, split_operands
+from repro.isa.parser_aarch64 import ParserAArch64
+
+
+def parse_one(line: str):
+    instrs = parse_kernel(line, "aarch64")
+    assert len(instrs) == 1
+    return instrs[0]
+
+
+class TestOperandParsing:
+    def test_gpr(self):
+        i = parse_one("add x0, x1, x2")
+        assert [o.root for o in i.operands] == ["x0", "x1", "x2"]
+
+    def test_immediate(self):
+        i = parse_one("add x0, x1, #16")
+        assert isinstance(i.operands[2], Immediate)
+        assert i.operands[2].value == 16
+
+    def test_hex_immediate(self):
+        assert parse_one("mov x0, #0x40").operands[1].value == 64
+
+    def test_neon_arrangement(self):
+        i = parse_one("fadd v0.2d, v1.2d, v2.2d")
+        assert i.operands[0].arrangement == "2d"
+        assert i.operands[0].root == "z0"
+
+    def test_sve_register(self):
+        i = parse_one("fadd z0.d, z1.d, z2.d")
+        assert i.operands[0].name == "z0"
+        assert i.operands[0].arrangement == "d"
+
+    def test_predicate_with_mode(self):
+        i = parse_one("ld1d z0.d, p1/z, [x0]")
+        pred = i.operands[1]
+        assert pred.reg_class.name == "PRED"
+        assert pred.predication == "z"
+
+    def test_predicate_with_element_suffix(self):
+        i = parse_one("whilelo p0.d, x13, x14")
+        assert i.operands[0].reg_class.name == "PRED"
+        assert i.operands[0].arrangement == "d"
+
+    def test_memory_base_only(self):
+        m = parse_one("ldr q0, [x1]").operands[1]
+        assert isinstance(m, MemoryOperand)
+        assert m.base.root == "x1"
+
+    def test_memory_immediate_offset(self):
+        m = parse_one("ldr q0, [x1, #32]").operands[1]
+        assert m.displacement == 32
+
+    def test_memory_register_offset_scaled(self):
+        m = parse_one("ldr d0, [x1, x3, lsl #3]").operands[1]
+        assert m.index.root == "x3"
+        assert m.scale == 8
+
+    def test_pre_indexed(self):
+        m = parse_one("ldr q0, [x1, #16]!").operands[1]
+        assert m.pre_indexed
+        assert m.has_writeback
+
+    def test_post_indexed(self):
+        i = parse_one("str q0, [x1], #16")
+        m = i.operands[1]
+        assert m.post_indexed
+        assert m.displacement == 16
+        assert "x1" in i.register_writes()
+
+    def test_mul_vl_displacement(self):
+        m = parse_one("ld1d z0.d, p0/z, [x1, #2, mul vl]").operands[2]
+        assert m.displacement == 2
+
+    def test_register_list_single(self):
+        i = parse_one("ld1 {v0.2d}, [x0]")
+        assert isinstance(i.operands[0], Register)
+
+    def test_shift_modifier_folded(self):
+        i = parse_one("add x0, x1, x2, lsl #2")
+        assert len(i.operands) == 3
+
+    def test_zero_register_not_a_dependency(self):
+        i = parse_one("add x0, x1, xzr")
+        assert "xzr" not in i.register_reads()
+
+    def test_gather_memory_operand(self):
+        m = parse_one("ld1d z0.d, p0/z, [x0, z1.d, lsl #3]").operands[2]
+        assert m.index.reg_class.name == "VEC"
+
+    def test_label(self):
+        assert isinstance(parse_one("b .L4").operands[0], LabelOperand)
+
+    def test_bad_memory_raises(self):
+        with pytest.raises(ParseError):
+            ParserAArch64().parse("ldr q0, [banana]")
+
+
+class TestSemantics:
+    def test_load_writes_first_operand(self):
+        i = parse_one("ldr x0, [x1, #8]")
+        assert i.is_load
+        assert i.register_writes() == ("x0",)
+        assert i.register_reads() == ("x1",)
+
+    def test_store_reads_data(self):
+        i = parse_one("str q2, [x0]")
+        assert i.is_store
+        assert set(i.register_reads()) == {"z2", "x0"}
+        assert i.register_writes() == ()
+
+    def test_ldp_writes_both(self):
+        i = parse_one("ldp x0, x1, [sp]")
+        assert set(i.register_writes()) == {"x0", "x1"}
+
+    def test_fmla_reads_dest(self):
+        i = parse_one("fmla v0.2d, v1.2d, v2.2d")
+        assert "z0" in i.register_reads()
+
+    def test_fadd_unpredicated_writes_dest_only(self):
+        i = parse_one("fadd v0.2d, v1.2d, v2.2d")
+        assert "z0" not in i.register_reads()
+
+    def test_merging_predication_reads_dest(self):
+        i = parse_one("mov z5.d, p1/m, z1.d")
+        assert "z5" in i.register_reads()
+
+    def test_cmp_writes_nzcv(self):
+        assert "nzcv" in parse_one("cmp x0, x1").register_writes()
+
+    def test_subs_writes_dest_and_flags(self):
+        i = parse_one("subs x0, x0, #1")
+        assert "x0" in i.register_writes()
+        assert "nzcv" in i.register_writes()
+
+    def test_conditional_branch_reads_flags(self):
+        i = parse_one("b.lt .L4")
+        assert "nzcv" in i.register_reads()
+        assert i.is_branch
+
+    def test_cbz_reads_register(self):
+        i = parse_one("cbz x3, .L9")
+        assert "x3" in i.register_reads()
+        assert i.is_branch
+
+    def test_whilelo_writes_predicate_and_flags(self):
+        i = parse_one("whilelo p0.d, x13, x14")
+        assert "p0" in i.register_writes()
+        assert "nzcv" in i.register_writes()
+
+    def test_fmadd_four_operand(self):
+        i = parse_one("fmadd d0, d1, d2, d3")
+        assert i.register_writes() == ("z0",)
+        assert set(i.register_reads()) == {"z1", "z2", "z3"}
+
+    def test_csel_reads_flags(self):
+        assert "nzcv" in parse_one("csel x0, x1, x2").register_reads()
+
+    def test_incd(self):
+        i = parse_one("incd x13")
+        assert "x13" in i.register_writes()
+
+
+class TestSplitOperands:
+    def test_brackets_protect_commas(self):
+        assert split_operands("z0.d, p0/z, [x0, x1, lsl #3]") == [
+            "z0.d", "p0/z", "[x0, x1, lsl #3]"
+        ]
+
+    def test_braces_protect_commas(self):
+        assert split_operands("{v0.2d, v1.2d}, [x0]") == ["{v0.2d, v1.2d}", "[x0]"]
+
+    def test_empty(self):
+        assert split_operands("") == []

@@ -1,0 +1,110 @@
+"""Port binding: heuristic vs exact LP minimax assignment."""
+
+import pytest
+
+from repro.analysis.portbinding import (
+    assign_ports_heuristic,
+    assign_ports_optimal,
+)
+from repro.isa import parse_kernel
+from repro.machine import get_machine_model
+from repro.machine.model import InstrEntry, MachineModel, uop
+
+
+def make_model(entries):
+    return MachineModel(
+        name="toy", isa="x86", ports=("A", "B", "C"), entries=entries
+    )
+
+
+def resolved_for(model, asm):
+    instrs = parse_kernel(asm, "x86")
+    return [model.resolve(i) for i in instrs]
+
+
+class TestHeuristic:
+    def test_equal_split(self):
+        m = make_model([InstrEntry("op", "r,r", (uop("A|B"),), latency=1.0)])
+        r = resolved_for(m, "op %rax, %rbx")
+        p = assign_ports_heuristic(m, r)
+        assert p.totals["A"] == pytest.approx(0.5)
+        assert p.totals["B"] == pytest.approx(0.5)
+        assert p.totals["C"] == 0.0
+
+    def test_occupancy_conserved(self):
+        m = get_machine_model("spr")
+        r = resolved_for(m, "vaddpd %ymm0, %ymm1, %ymm2\nvmulpd %ymm3, %ymm4, %ymm5\n")
+        p = assign_ports_heuristic(m, r)
+        total_cycles = sum(u.cycles for res in r for u in res.uops)
+        assert sum(p.totals.values()) == pytest.approx(total_cycles)
+
+
+class TestOptimal:
+    def test_lp_beats_naive_split_on_nested_sets(self):
+        # one uop restricted to A, one free on A|B: optimal puts the
+        # free one fully on B (max 1.0); equal split gives A = 1.5.
+        m = make_model([
+            InstrEntry("opa", "r,r", (uop("A"),), latency=1.0),
+            InstrEntry("opb", "r,r", (uop("A|B"),), latency=1.0),
+        ])
+        r = resolved_for(m, "opa %rax, %rbx\nopb %rax, %rbx")
+        heur = assign_ports_heuristic(m, r)
+        opt = assign_ports_optimal(m, r)
+        assert heur.max_pressure == pytest.approx(1.5)
+        assert opt.max_pressure == pytest.approx(1.0)
+
+    def test_lp_never_worse_than_heuristic(self):
+        m = get_machine_model("zen4")
+        asm = """
+        vaddpd %ymm0, %ymm1, %ymm2
+        vmulpd %ymm3, %ymm4, %ymm5
+        vfmadd231pd %ymm6, %ymm7, %ymm8
+        vmovupd (%rax), %ymm9
+        vmovupd %ymm9, (%rbx)
+        addq $8, %rcx
+        """
+        r = resolved_for(m, asm)
+        assert (
+            assign_ports_optimal(m, r).max_pressure
+            <= assign_ports_heuristic(m, r).max_pressure + 1e-9
+        )
+
+    def test_lp_occupancy_conserved(self):
+        m = get_machine_model("spr")
+        r = resolved_for(m, "vaddpd %ymm0, %ymm1, %ymm2\naddq $1, %rax\n")
+        p = assign_ports_optimal(m, r)
+        total_cycles = sum(u.cycles for res in r for u in res.uops)
+        assert sum(p.totals.values()) == pytest.approx(total_cycles)
+
+    def test_empty_block(self):
+        m = get_machine_model("spr")
+        p = assign_ports_optimal(m, [])
+        assert p.max_pressure == 0.0
+        assert p.bottleneck_port == "" or p.max_pressure == 0.0
+
+    def test_per_instruction_breakdown_sums(self):
+        m = get_machine_model("spr")
+        r = resolved_for(m, "vfmadd231pd (%rax), %ymm1, %ymm2\n")
+        p = assign_ports_optimal(m, r)
+        per = sum(sum(d.values()) for d in p.per_instruction)
+        assert per == pytest.approx(sum(p.totals.values()))
+
+    def test_known_throughput_spr_fma(self):
+        # 4 zmm FMAs on 2 ports => exactly 2.0 cycles pressure
+        m = get_machine_model("spr")
+        asm = "\n".join(
+            f"vfmadd231pd %zmm1, %zmm2, %zmm{d}" for d in range(4, 8)
+        )
+        r = resolved_for(m, asm)
+        assert assign_ports_optimal(m, r).max_pressure == pytest.approx(2.0)
+
+    def test_multi_cycle_uops(self):
+        m = make_model([InstrEntry("slow", "r,r", (uop("A|B", cycles=3.0),), latency=3.0)])
+        r = resolved_for(m, "slow %rax, %rbx\nslow %rax, %rbx")
+        assert assign_ports_optimal(m, r).max_pressure == pytest.approx(3.0)
+
+    def test_method_labels(self):
+        m = get_machine_model("spr")
+        r = resolved_for(m, "addq $1, %rax\n")
+        assert assign_ports_optimal(m, r).method == "optimal"
+        assert assign_ports_heuristic(m, r).method == "heuristic"

@@ -1,0 +1,105 @@
+"""Port-occupation inference (the paper's interleaving methodology)."""
+
+import pytest
+
+from repro.analysis.portfinder import (
+    find_probes,
+    infer_ports,
+    infer_ports_counters,
+    infer_ports_interleave,
+)
+from repro.machine import get_machine_model
+
+
+def entry_of(model, mnemonic, signature):
+    for e in model.entries:
+        if e.mnemonic == mnemonic and e.signature == signature:
+            return e
+    raise LookupError((mnemonic, signature))
+
+
+@pytest.fixture(scope="module")
+def spr():
+    return get_machine_model("spr")
+
+
+@pytest.fixture(scope="module")
+def zen4():
+    return get_machine_model("zen4")
+
+
+class TestProbes:
+    def test_probes_are_single_port(self, spr):
+        for port, probe in find_probes(spr).items():
+            assert len(probe.uops) == 1
+            assert probe.uops[0].ports == (port,)
+
+    def test_spr_has_probes_for_key_ports(self, spr):
+        probes = find_probes(spr)
+        assert {"0", "1", "5"} <= set(probes)
+
+    def test_probes_exclude_dividers(self, spr):
+        for probe in find_probes(spr).values():
+            assert probe.divider == 0.0
+            assert probe.throughput is None
+
+
+class TestCounterInference:
+    """Intel-style: per-port µop counters give the ports directly."""
+
+    @pytest.mark.parametrize("mnemonic,sig", [
+        ("vaddpd", "z,z,z"),
+        ("vaddpd", "y,y,y"),
+        ("vmulpd", "y,y,y"),
+        ("vfmadd231pd", "z,z,z"),
+        ("imul", "r,r"),
+        ("vpermilpd", "z,z"),
+        ("add", "r,r"),
+        ("vdivsd", "x,x,x"),
+    ])
+    def test_exact_recovery_on_spr(self, spr, mnemonic, sig):
+        r = infer_ports_counters(spr, entry_of(spr, mnemonic, sig))
+        assert r.inferred_ports == r.true_ports
+
+    def test_auto_selects_counters_on_glc(self, spr):
+        r = infer_ports(spr, entry_of(spr, "vaddpd", "z,z,z"))
+        assert r.undetermined_ports == ()
+
+
+class TestInterleaveInference:
+    """AMD/Arm-style: no port counters; interleave with known probes."""
+
+    def test_single_port_target_found(self, zen4):
+        r = infer_ports_interleave(zen4, entry_of(zen4, "imul", "r,r"))
+        assert "alu1" in r.inferred_ports
+
+    def test_no_false_positives_within_probes(self, zen4):
+        # vaddpd runs on fp2/fp3; the probed ports (alu1, fp1) must NOT
+        # be inferred
+        r = infer_ports_interleave(zen4, entry_of(zen4, "vaddpd", "y,y,y"))
+        assert r.inferred_ports == ()
+        assert r.correct
+
+    def test_overlap_detected_when_target_saturated(self, zen4):
+        # vmulpd uses fp0|fp1 — the fp1 probe must collide
+        r = infer_ports_interleave(zen4, entry_of(zen4, "vmulpd", "y,y,y"))
+        assert "fp1" in r.inferred_ports
+
+    def test_undetermined_ports_reported(self, zen4):
+        r = infer_ports_interleave(zen4, entry_of(zen4, "vaddpd", "y,y,y"))
+        assert set(r.undetermined_ports) == set(zen4.ports) - set(find_probes(zen4))
+
+    def test_auto_selects_interleave_on_zen4(self, zen4):
+        r = infer_ports(zen4, entry_of(zen4, "imul", "r,r"))
+        assert r.undetermined_ports != ()
+
+    def test_unknown_method_raises(self, zen4):
+        with pytest.raises(ValueError):
+            infer_ports(zen4, entry_of(zen4, "imul", "r,r"), method="magic")
+
+
+class TestResultSemantics:
+    def test_correct_property(self, spr):
+        r = infer_ports_counters(spr, entry_of(spr, "imul", "r,r"))
+        assert r.correct
+        assert r.mnemonic == "imul"

@@ -1,0 +1,272 @@
+"""Property-based tests (hypothesis) over core data structures.
+
+Invariants checked:
+
+* port binding — LP optimum never exceeds the heuristic; both conserve
+  total µop occupancy; the bound is at least the work of any single
+  port-restricted µop set;
+* dependency graph — the intra-iteration graph is a DAG; LCD is
+  non-negative and bounded by total chain latency;
+* simulator — measured cycles are at least the analytical lower bound
+  for arbitrary generated straight-line kernels; issue unit never
+  double-books a port;
+* cache hierarchy — the store-benchmark traffic ratio always lands in
+  [1, 2]; LRU never exceeds capacity;
+* codegen pipeline — any (kernel, persona, opt, uarch) combination
+  produces parseable assembly fully covered by the machine model.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import analyze_instructions
+from repro.analysis.portbinding import (
+    assign_ports_heuristic,
+    assign_ports_optimal,
+)
+from repro.isa import parse_kernel
+from repro.kernels import OPT_LEVELS, generate_assembly, personas_for_isa
+from repro.kernels.suite import KERNELS
+from repro.machine import get_machine_model
+from repro.machine.model import InstrEntry, MachineModel, Uop
+from repro.simulator.core import CoreSimulator, _PortIssueUnit
+from repro.simulator.memory import CacheHierarchy, CacheLevel
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+PORTS = ("P0", "P1", "P2", "P3")
+
+port_subsets = st.lists(
+    st.sampled_from(PORTS), min_size=1, max_size=4, unique=True
+).map(tuple)
+
+uops = st.builds(
+    Uop,
+    ports=port_subsets,
+    cycles=st.sampled_from([0.5, 1.0, 2.0, 3.0]),
+)
+
+
+@st.composite
+def toy_models_with_instrs(draw):
+    """A synthetic model plus a block of instructions over it."""
+    n_ops = draw(st.integers(1, 6))
+    entries = []
+    names = []
+    for k in range(n_ops):
+        name = f"op{k}"
+        names.append(name)
+        entries.append(
+            InstrEntry(
+                name,
+                "r,r",
+                tuple(draw(st.lists(uops, min_size=1, max_size=3))),
+                latency=draw(st.sampled_from([1.0, 2.0, 4.0])),
+            )
+        )
+    model = MachineModel(name="toy", isa="x86", ports=PORTS, entries=entries)
+    block = draw(st.lists(st.sampled_from(names), min_size=1, max_size=8))
+    asm = "\n".join(f"{n} %rax, %rbx" for n in block)
+    return model, parse_kernel(asm, "x86")
+
+
+# ---------------------------------------------------------------------------
+# port binding
+# ---------------------------------------------------------------------------
+
+class TestPortBindingProperties:
+    @given(toy_models_with_instrs())
+    @settings(max_examples=60, deadline=None)
+    def test_lp_never_exceeds_heuristic(self, mi):
+        model, instrs = mi
+        resolved = [model.resolve(i) for i in instrs]
+        opt = assign_ports_optimal(model, resolved)
+        heur = assign_ports_heuristic(model, resolved)
+        assert opt.max_pressure <= heur.max_pressure + 1e-6
+
+    @given(toy_models_with_instrs())
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_conserved(self, mi):
+        model, instrs = mi
+        resolved = [model.resolve(i) for i in instrs]
+        total = sum(u.cycles for r in resolved for u in r.uops)
+        for binding in (
+            assign_ports_optimal(model, resolved),
+            assign_ports_heuristic(model, resolved),
+        ):
+            assert sum(binding.totals.values()) == pytest.approx(total, rel=1e-6)
+
+    @given(toy_models_with_instrs())
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_work_over_ports(self, mi):
+        """max pressure >= total work / number of ports."""
+        model, instrs = mi
+        resolved = [model.resolve(i) for i in instrs]
+        total = sum(u.cycles for r in resolved for u in r.uops)
+        opt = assign_ports_optimal(model, resolved)
+        assert opt.max_pressure >= total / len(model.ports) - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# dependency analysis / prediction vs simulation
+# ---------------------------------------------------------------------------
+
+class TestAnalysisProperties:
+    @given(toy_models_with_instrs())
+    @settings(max_examples=40, deadline=None)
+    def test_intra_graph_is_dag(self, mi):
+        import networkx as nx
+
+        model, instrs = mi
+        resolved = [model.resolve(i) for i in instrs]
+        from repro.analysis.depgraph import build_dependency_graph
+
+        g = build_dependency_graph(instrs, resolved).intra_graph()
+        assert nx.is_directed_acyclic_graph(g)
+
+    @given(toy_models_with_instrs())
+    @settings(max_examples=40, deadline=None)
+    def test_lcd_bounded_by_total_latency(self, mi):
+        model, instrs = mi
+        resolved = [model.resolve(i) for i in instrs]
+        ana = analyze_instructions(instrs, model)
+        assert 0.0 <= ana.lcd <= sum(r.total_latency for r in resolved) + 1e-9
+
+    @given(toy_models_with_instrs())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_simulation_at_least_prediction(self, mi):
+        model, instrs = mi
+        ana = analyze_instructions(instrs, model)
+        sim = CoreSimulator(
+            model,
+            issue_efficiency=1.0,
+            dispatch_efficiency=1.0,
+            measurement_overhead=0.0,
+        ).run(instrs, iterations=120, warmup=60)
+        # Finite measurement windows can retire slightly more than the
+        # steady-state port rate when warm-up-phase scheduler gaps are
+        # backfilled by measured-window work (the same windowing
+        # artifact real benchmark harnesses fight) — allow 2%.
+        assert sim.cycles_per_iteration >= ana.prediction * 0.98 - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# issue unit
+# ---------------------------------------------------------------------------
+
+class TestIssueUnitProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                port_subsets,
+                st.floats(0.0, 50.0),
+                st.sampled_from([0.5, 1.0, 2.0]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_double_booking(self, jobs):
+        unit = _PortIssueUnit(PORTS, window=1e9)
+        placed = {p: [] for p in PORTS}
+        for ports, ready, dur in jobs:
+            start, port = unit.issue(ports, ready, dur)
+            assert start >= ready - 1e-9
+            for s, e in placed[port]:
+                assert start >= e - 1e-9 or start + dur <= s + 1e-9, (
+                    "overlapping booking on one port"
+                )
+            placed[port].append((start, start + dur))
+
+
+# ---------------------------------------------------------------------------
+# cache hierarchy
+# ---------------------------------------------------------------------------
+
+class TestCacheProperties:
+    @given(
+        policy=st.sampled_from(["always", "claim", "speci2m"]),
+        saturated=st.booleans(),
+        fraction=st.floats(0.0, 1.0),
+        n_lines=st.integers(100, 800),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_store_ratio_within_physical_bounds(
+        self, policy, saturated, fraction, n_lines
+    ):
+        levels = [CacheLevel("L1", 1024, 64, 2), CacheLevel("L2", 4096, 64, 4)]
+        h = CacheHierarchy(levels, wa_policy=policy, speci2m_fraction=fraction)
+        h.bandwidth_saturated = saturated
+        for i in range(n_lines):
+            h.store(i * 64, 64)
+        h.drain()
+        assert 1.0 - 1e-9 <= h.stats.traffic_ratio <= 2.0 + 1e-9
+
+    @given(
+        addrs=st.lists(st.integers(0, 10_000), min_size=1, max_size=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lru_capacity_never_exceeded(self, addrs):
+        c = CacheLevel("L1", 1024, 64, 2)
+        for a in addrs:
+            c.insert(a, dirty=False)
+        for s in c._sets:
+            assert len(s) <= c.ways
+
+    @given(addrs=st.lists(st.integers(0, 2_000), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_load_then_load_hits(self, addrs):
+        levels = [CacheLevel("L1", 65536, 64, 8)]
+        h = CacheHierarchy(levels)
+        for a in addrs:
+            h.load(a * 64, 8)
+        reads = h.stats.mem_read_bytes
+        h.load(addrs[-1] * 64, 8)
+        assert h.stats.mem_read_bytes == reads
+
+
+# ---------------------------------------------------------------------------
+# codegen pipeline
+# ---------------------------------------------------------------------------
+
+class TestCodegenPipelineProperties:
+    @given(
+        kernel=st.sampled_from(sorted(KERNELS)),
+        opt=st.sampled_from(OPT_LEVELS),
+        target=st.sampled_from(
+            [("golden_cove", "x86"), ("zen4", "x86"), ("neoverse_v2", "aarch64")]
+        ),
+        persona_idx=st.integers(0, 2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_generated_code_fully_modeled(self, kernel, opt, target, persona_idx):
+        uarch, isa = target
+        personas = personas_for_isa(isa)
+        persona = personas[persona_idx % len(personas)]
+        asm = generate_assembly(kernel, persona, opt, uarch)
+        model = get_machine_model(uarch)
+        instrs = parse_kernel(asm, isa)
+        assert instrs
+        for i in instrs:
+            assert not model.resolve(i).from_default
+
+    @given(
+        kernel=st.sampled_from(sorted(KERNELS)),
+        opt=st.sampled_from(OPT_LEVELS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_positive_and_finite(self, kernel, opt):
+        asm = generate_assembly(kernel, "clang", opt, "zen4")
+        model = get_machine_model("zen4")
+        ana = analyze_instructions(parse_kernel(asm, "x86"), model)
+        assert 0.0 < ana.prediction < 1e4
+        assert math.isfinite(ana.critical_path)

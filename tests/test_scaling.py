@@ -1,0 +1,76 @@
+"""Node-level scaling prediction (in-core x frequency x bandwidth)."""
+
+import pytest
+
+from repro.analysis.scaling import predict_scaling
+from repro.kernels.suite import KERNELS
+from repro.machine import get_chip_spec
+
+
+class TestScalingShapes:
+    def test_striad_bandwidth_bound_at_socket(self):
+        for chip in ("gcs", "spr", "genoa"):
+            s = predict_scaling(KERNELS["striad"], chip)
+            assert s.points[-1].bandwidth_bound
+
+    def test_striad_socket_performance_tracks_bandwidth(self):
+        # P = I * B_sustained at the socket level
+        for chip in ("gcs", "spr", "genoa"):
+            spec = get_chip_spec(chip)
+            s = predict_scaling(KERNELS["striad"], chip)
+            expected = (2 / 32) * spec.memory.bw_sustained
+            assert s.points[-1].performance_gflops == pytest.approx(
+                expected, rel=0.02
+            )
+
+    def test_socket_bandwidth_ordering_matches_paper(self):
+        # GCS > Genoa > SPR for memory-bound kernels (Table I measured BW)
+        perf = {
+            chip: predict_scaling(KERNELS["striad"], chip).points[-1].performance_gflops
+            for chip in ("gcs", "spr", "genoa")
+        }
+        assert perf["gcs"] > perf["genoa"] > perf["spr"]
+
+    def test_pi_is_compute_bound(self):
+        s = predict_scaling(KERNELS["pi"], "spr", opt="Ofast")
+        assert not s.points[-1].bandwidth_bound
+        assert s.saturation_point > s.points[-1].cores
+
+    def test_compute_scales_with_frequency_drop(self):
+        # SPR AVX-512 code: per-core GFLOP/s drops with active cores
+        s = predict_scaling(KERNELS["pi"], "spr", persona="gcc", opt="Ofast")
+        assert s.isa_class == "avx512"
+        per_core = [p.compute_gflops / p.cores for p in s.points]
+        assert per_core[0] > per_core[-1]
+
+    def test_frequency_comes_from_governor(self):
+        s = predict_scaling(KERNELS["pi"], "gcs", opt="Ofast")
+        assert all(p.frequency_ghz == pytest.approx(3.4) for p in s.points)
+
+    def test_persona_mapped_across_isa(self):
+        s = predict_scaling(KERNELS["striad"], "gcs", persona="gcc")
+        assert s.persona == "gcc-arm"
+        s2 = predict_scaling(KERNELS["striad"], "spr", persona="gcc-arm")
+        assert s2.persona == "gcc"
+
+    def test_scalar_fallback_for_gs(self):
+        s = predict_scaling(KERNELS["gs2d5pt"], "genoa", opt="O3")
+        assert s.isa_class == "scalar"
+        assert s.elements_per_iteration == 1
+
+    def test_custom_core_counts(self):
+        s = predict_scaling(KERNELS["striad"], "spr", core_counts=[1, 13, 52])
+        assert [p.cores for p in s.points] == [1, 13, 52]
+
+    def test_snc_domain_steps_on_spr(self):
+        """Bandwidth grows in domain-sized steps on the SNC-mode SPR."""
+        s = predict_scaling(
+            KERNELS["striad"], "spr", core_counts=[13, 14, 26]
+        )
+        b13, b14, b26 = [p.bandwidth_gflops for p in s.points]
+        assert b13 == pytest.approx(b26 / 2, rel=0.02)
+        assert b13 < b14 < b26
+
+    def test_peak_gflops_helper(self):
+        s = predict_scaling(KERNELS["pi"], "genoa", opt="Ofast")
+        assert s.peak_gflops() == max(p.performance_gflops for p in s.points)

@@ -1,0 +1,214 @@
+"""Cycle-level core simulator behaviour."""
+
+import pytest
+
+from repro.isa import parse_kernel
+from repro.machine import get_machine_model
+from repro.simulator.core import CoreSimulator, _PortIssueUnit, simulate_kernel
+
+
+def clean_sim(arch, **kw):
+    """Simulator without harness-noise factors for exact checks."""
+    defaults = dict(
+        issue_efficiency=1.0, dispatch_efficiency=1.0, measurement_overhead=0.0
+    )
+    defaults.update(kw)
+    return CoreSimulator(get_machine_model(arch), **defaults)
+
+
+def run(arch, asm, **kw):
+    model = get_machine_model(arch)
+    instrs = parse_kernel(asm, model.isa)
+    return clean_sim(arch, **kw).run(instrs, iterations=100, warmup=30)
+
+
+class TestLatencyChains:
+    def test_fma_chain_spr(self):
+        r = run("spr", "vfmadd231pd %zmm1, %zmm2, %zmm0\nsubq $1, %rax\njnz .L\n")
+        assert r.cycles_per_iteration == pytest.approx(4.0)
+
+    def test_add_chain_v2(self):
+        r = run("grace", "fadd v0.2d, v0.2d, v1.2d\nsubs x0, x0, #1\nb.ne .L\n")
+        assert r.cycles_per_iteration == pytest.approx(2.0)
+
+    def test_load_to_use_in_chain(self):
+        # pointer chase: load feeding its own address
+        r = run("spr", "movq (%rax), %rax\n")
+        assert r.cycles_per_iteration == pytest.approx(
+            get_machine_model("spr").load_latency_gpr
+        )
+
+
+class TestThroughput:
+    def test_independent_adds_two_ports(self):
+        asm = "\n".join(f"vaddpd %zmm30, %zmm31, %zmm{d}" for d in range(8))
+        r = run("spr", asm + "\nsubq $1, %rax\njnz .L\n")
+        assert r.cycles_per_iteration == pytest.approx(4.0, rel=0.05)
+
+    def test_divider_serializes(self):
+        asm = "vdivpd %ymm14, %ymm15, %ymm0\nvdivpd %ymm14, %ymm15, %ymm1\nsubq $1, %rax\njnz .L\n"
+        r = run("zen4", asm, divider_overrides={})
+        assert r.cycles_per_iteration == pytest.approx(10.0, rel=0.05)
+
+    def test_taken_branch_limits_to_one_cycle(self):
+        r = run("grace", "nop\nb.ne .L\n")
+        assert r.cycles_per_iteration >= 1.0 - 1e-9
+
+    def test_gather_throughput_cap(self):
+        asm = "\n".join(
+            f"vgatherdpd (%rax,%zmm30,8), %zmm{d}{{%k1}}" for d in range(4)
+        )
+        r = run("spr", asm + "\nsubq $1, %rax\njnz .L\n")
+        assert r.cycles_per_iteration == pytest.approx(12.0, rel=0.05)
+
+
+class TestRenamerEffects:
+    def test_zero_idiom_breaks_chain(self):
+        with_idiom = run(
+            "spr",
+            "vxorpd %ymm0, %ymm0, %ymm0\nvfmadd231pd %ymm1, %ymm2, %ymm0\nsubq $1, %rax\njnz .L\n",
+        )
+        without = run(
+            "spr",
+            "vfmadd231pd %ymm1, %ymm2, %ymm0\nsubq $1, %rax\njnz .L\n",
+        )
+        assert with_idiom.cycles_per_iteration < without.cycles_per_iteration
+
+    def test_fmov_zero_cycle_on_v2(self):
+        # fadd(2) + fmov: renamed move adds nothing -> 2 cy chain
+        asm = "fadd d1, d0, d2\nfmov d0, d1\nsubs x0, x0, #1\nb.ne .L\n"
+        r = run("grace", asm)
+        assert r.cycles_per_iteration == pytest.approx(2.0)
+
+    def test_fmov_counts_without_merge_renaming(self):
+        asm = "fadd d1, d0, d2\nfmov d0, d1\nsubs x0, x0, #1\nb.ne .L\n"
+        r = run("grace", asm, merge_renaming=False)
+        assert r.cycles_per_iteration == pytest.approx(4.0)  # 2 + 2
+
+    def test_merging_mov_renamed(self):
+        asm = "fadd z1.d, z0.d, z2.d\nmov z0.d, p1/m, z1.d\nsubs x0, x0, #1\nb.ne .L\n"
+        r = run("grace", asm)
+        assert r.cycles_per_iteration == pytest.approx(2.0)
+
+    def test_true_sve_accumulation_keeps_chain(self):
+        asm = "fadd z8.d, p0/m, z8.d, z0.d\nsubs x0, x0, #1\nb.ne .L\n"
+        r = run("grace", asm)
+        assert r.cycles_per_iteration == pytest.approx(2.0)
+
+    def test_zen4_divider_override(self):
+        asm = "vdivsd %xmm14, %xmm15, %xmm0\nvdivsd %xmm14, %xmm15, %xmm1\nsubq $1, %rax\njnz .L\n"
+        fast = run("zen4", asm)  # default overrides: 4 cy each
+        slow = run("zen4", asm, divider_overrides={})
+        assert fast.cycles_per_iteration == pytest.approx(8.0, rel=0.05)
+        assert slow.cycles_per_iteration == pytest.approx(10.0, rel=0.05)
+
+
+class TestWindowEffects:
+    def test_small_rob_serializes_long_latency(self):
+        model = get_machine_model("spr")
+        instrs = parse_kernel(
+            "vdivpd %ymm1, %ymm2, %ymm3\n" + "addq $1, %rax\n" * 20, "x86"
+        )
+        import dataclasses
+
+        small = dataclasses.replace(model, rob_size=8, entries=list(model.entries))
+        big_r = CoreSimulator(model, issue_efficiency=1.0, dispatch_efficiency=1.0,
+                              measurement_overhead=0.0).run(instrs, 50, 10)
+        small_r = CoreSimulator(small, issue_efficiency=1.0, dispatch_efficiency=1.0,
+                                measurement_overhead=0.0).run(instrs, 50, 10)
+        assert small_r.cycles_per_iteration >= big_r.cycles_per_iteration
+
+    def test_macro_fusion_saves_dispatch_slot(self):
+        sim = clean_sim("spr")
+        fused = sim._macro_fusion(parse_kernel("cmpq %rax, %rbx\njb .L\n", "x86"))
+        assert fused == [True, False]
+
+    def test_no_fusion_on_aarch64(self):
+        sim = clean_sim("grace")
+        fused = sim._macro_fusion(parse_kernel("subs x0, x0, #1\nb.ne .L\n", "aarch64"))
+        assert fused == [False, False]
+
+
+class TestSplitLoads:
+    def test_misaligned_vector_load_penalized(self):
+        sim = clean_sim("zen4")
+        aligned = parse_kernel("vmovupd (%rax,%rcx,8), %ymm0", "x86")[0]
+        misaligned = parse_kernel("vmovupd 8(%rax,%rcx,8), %ymm0", "x86")[0]
+        assert sim._split_load_uops(aligned) == 0.0
+        assert sim._split_load_uops(misaligned) == pytest.approx(0.5)
+
+    def test_scalar_loads_never_split(self):
+        sim = clean_sim("spr")
+        i = parse_kernel("movq 4(%rax), %rbx", "x86")[0]
+        assert sim._split_load_uops(i) == 0.0
+
+
+class TestHarnessFactors:
+    def test_issue_efficiency_slows_port_bound(self):
+        asm = "\n".join(f"vaddpd %zmm30, %zmm31, %zmm{d}" for d in range(8))
+        asm += "\nsubq $1, %rax\njnz .L\n"
+        model = get_machine_model("spr")
+        instrs = parse_kernel(asm, "x86")
+        ideal = CoreSimulator(model, issue_efficiency=1.0, dispatch_efficiency=1.0,
+                              measurement_overhead=0.0).run(instrs, 100, 30)
+        real = CoreSimulator(model).run(instrs, 100, 30)
+        assert real.cycles_per_iteration > ideal.cycles_per_iteration
+
+    def test_measurement_overhead_scales(self):
+        asm = "addq $1, %rcx\nsubq $1, %rax\njnz .L\n"
+        model = get_machine_model("spr")
+        instrs = parse_kernel(asm, "x86")
+        base = CoreSimulator(model, issue_efficiency=1.0, dispatch_efficiency=1.0,
+                             measurement_overhead=0.0).run(instrs, 100, 30)
+        off = CoreSimulator(model, issue_efficiency=1.0, dispatch_efficiency=1.0,
+                            measurement_overhead=0.10).run(instrs, 100, 30)
+        assert off.cycles_per_iteration == pytest.approx(
+            base.cycles_per_iteration * 1.10
+        )
+
+
+class TestPortIssueUnit:
+    def test_backfill_into_gap(self):
+        unit = _PortIssueUnit(("A",))
+        # a late-ready uop leaves a gap at the front
+        s1, _ = unit.issue(("A",), ready=10.0, dur=1.0)
+        assert s1 == 10.0
+        s2, _ = unit.issue(("A",), ready=0.0, dur=1.0)
+        assert s2 == 0.0  # backfilled
+
+    def test_gap_splitting(self):
+        unit = _PortIssueUnit(("A",))
+        unit.issue(("A",), ready=10.0, dur=1.0)
+        unit.issue(("A",), ready=4.0, dur=2.0)
+        s, _ = unit.issue(("A",), ready=0.0, dur=4.0)
+        assert s == 0.0
+
+    def test_picks_earliest_port(self):
+        unit = _PortIssueUnit(("A", "B"))
+        unit.issue(("A",), ready=0.0, dur=5.0)
+        s, p = unit.issue(("A", "B"), ready=0.0, dur=1.0)
+        assert p == "B" and s == 0.0
+
+    def test_window_pruning(self):
+        unit = _PortIssueUnit(("A",), window=10.0)
+        unit.issue(("A",), ready=100.0, dur=1.0)  # gap [0, 100)
+        unit.advance(200.0)
+        assert unit.gaps["A"] == []
+
+    def test_zero_duration_noop(self):
+        unit = _PortIssueUnit(("A",))
+        s, _ = unit.issue(("A",), ready=3.0, dur=0.0)
+        assert s == 3.0
+        assert unit.tail["A"] == 0.0
+
+
+class TestSimulateKernel:
+    def test_wrapper(self):
+        r = simulate_kernel("addq $1, %rax\n", "spr", iterations=50, warmup=10)
+        assert r.cycles_per_iteration > 0
+        assert r.instructions_retired == 60
+        assert r.ipc > 0
+
+    def test_requires_iterations(self):
+        with pytest.raises(ValueError):
+            simulate_kernel("nop\n", "spr", iterations=0)
