@@ -2,13 +2,21 @@
 
 PY ?= python
 
-.PHONY: install test bench report verify all-figures clean
+# targets work from a checkout without `make install`
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test test-fast bench report verify all-figures clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# everything, including @pytest.mark.slow full-corpus sweeps
 test:
-	$(PY) -m pytest tests/
+	$(PY) -m pytest tests/ -m ""
+
+# the default developer loop: slow-marked sweeps deselected
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -27,5 +35,5 @@ outputs:
 	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks .repro-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,16 +12,15 @@ import dataclasses
 
 import pytest
 
-from repro.analysis import analyze_instructions
 from repro.analysis.portbinding import (
     assign_ports_heuristic,
     assign_ports_optimal,
 )
+from repro.engine import CorpusEngine, WorkUnit
 from repro.isa import parse_kernel
 from repro.kernels import enumerate_corpus
 from repro.machine import get_chip_spec, get_machine_model
-from repro.mca import MCASchedData, MCASimulator
-from repro.simulator.core import CoreSimulator
+from repro.machine.io import model_to_dict
 from repro.simulator.multicore import run_store_benchmark
 
 
@@ -69,19 +68,31 @@ class TestPortBindingAblation:
 class TestSchedulerWindowAblation:
     def test_window_sensitivity(self, benchmark):
         """Shrinking the scheduler window raises measured cycles for
-        wide dependency trees (backfill opportunity is lost)."""
+        wide dependency trees (backfill opportunity is lost).
+
+        The what-if models go through the engine's ``simulate`` units:
+        each perturbed scheduler size yields a distinct model digest, so
+        a shared cache can never confuse the variants."""
         model = get_machine_model("zen4")
         asm = enumerate_corpus(machines=("genoa",), kernels=("j3d27pt",))[2].assembly
-        instrs = parse_kernel(asm, "x86")
+        engine = CorpusEngine(jobs=1)
 
         def measure(window):
             m = dataclasses.replace(model, scheduler_size=window,
                                     entries=list(model.entries))
-            return CoreSimulator(m).run(instrs, iterations=80, warmup=20)
+            unit = WorkUnit.make(
+                "simulate",
+                label=f"zen4/window={window}",
+                model=model_to_dict(m),
+                assembly=asm,
+                iterations=80,
+                warmup=20,
+            )
+            return engine.run([unit])[0]
 
         big = benchmark.pedantic(measure, args=(160,), rounds=1, iterations=1)
         tiny = measure(4)
-        assert tiny.cycles_per_iteration >= big.cycles_per_iteration
+        assert tiny["cycles_per_iteration"] >= big["cycles_per_iteration"]
 
 
 class TestSpecI2MThresholdAblation:
@@ -108,30 +119,40 @@ class TestMCADataAblation:
         """Running the MCA *algorithm* with undegraded scheduling data
         predicts strictly faster-or-equal blocks — the slow-side bias of
         Fig. 3 is the scheduling data, not the timeline simulation."""
-        model = get_machine_model("gcs")
         entries = enumerate_corpus(machines=("gcs",), kernels=("striad", "j2d5pt", "sum"))
-        blocks = [parse_kernel(e.assembly, "aarch64") for e in entries]
+        engine = CorpusEngine(jobs=1)
 
         def predict_all(sched):
-            return [
-                MCASimulator(model, sched).run(b, iterations=60, warmup=15)
-                for b in blocks
+            # sched=None is the degraded default; the overrides dict is
+            # part of the cache key, so the two variants never collide
+            units = [
+                WorkUnit.make(
+                    "mca",
+                    label=e.test_id,
+                    uarch="neoverse_v2",
+                    assembly=e.assembly,
+                    iterations=60,
+                    warmup=15,
+                    sched=sched,
+                )
+                for e in entries
             ]
+            return engine.run(units)
 
         degraded = benchmark.pedantic(
-            predict_all, args=(MCASchedData(model),), rounds=1, iterations=1
+            predict_all, args=(None,), rounds=1, iterations=1
         )
         clean = predict_all(
-            MCASchedData(model, sve_pipe_limit=0, fp_port_limit=0,
-                         store_uop_inflation=0, drop_throughput_caps=False)
+            dict(sve_pipe_limit=0, fp_port_limit=0,
+                 store_uop_inflation=0, drop_throughput_caps=False)
         )
         slower = sum(
-            d.cycles_per_iteration >= c.cycles_per_iteration - 1e-9
+            d["cycles_per_iteration"] >= c["cycles_per_iteration"] - 1e-9
             for d, c in zip(degraded, clean)
         )
         strictly = sum(
-            d.cycles_per_iteration > c.cycles_per_iteration + 1e-6
+            d["cycles_per_iteration"] > c["cycles_per_iteration"] + 1e-6
             for d, c in zip(degraded, clean)
         )
-        assert slower == len(blocks)  # degradation only removes resources
-        assert strictly >= len(blocks) // 3  # and it bites on many blocks
+        assert slower == len(entries)  # degradation only removes resources
+        assert strictly >= len(entries) // 3  # and it bites on many blocks

@@ -1,0 +1,41 @@
+"""Engine throughput benchmark: the memoization acceptance gate.
+
+The full 416-variant corpus sweeps twice — once serial with no cache
+(the pre-engine baseline path), once with ``jobs=4`` over a warm
+content-addressed cache — and the warm run must be at least **3x**
+faster.  In practice hits never touch a worker process, so the warm
+sweep is pure cache I/O and clears the bar by an order of magnitude.
+"""
+
+import time
+
+from repro.bench import fig3
+from repro.engine import CorpusEngine
+
+
+def test_warm_cache_sweep_is_3x_faster(benchmark, tmp_path):
+    t0 = time.perf_counter()
+    baseline = fig3.run(engine=CorpusEngine(jobs=1))
+    serial_seconds = time.perf_counter() - t0
+
+    eng = CorpusEngine(jobs=4, cache_dir=tmp_path / "cache")
+    fig3.run(engine=eng)  # populate
+    assert eng.metrics.evaluated == 416
+
+    warm_seconds = []
+
+    def warm_run():
+        t = time.perf_counter()
+        result = fig3.run(engine=eng)
+        warm_seconds.append(time.perf_counter() - t)
+        return result
+
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    assert eng.metrics.cache_hits == 416 and eng.metrics.evaluated == 0
+    assert warm.summary("osaca") == baseline.summary("osaca")
+
+    speedup = serial_seconds / warm_seconds[0]
+    assert speedup >= 3.0, (
+        f"warm-cache sweep only {speedup:.1f}x faster "
+        f"({serial_seconds:.2f}s serial vs {warm_seconds[0]:.2f}s warm)"
+    )

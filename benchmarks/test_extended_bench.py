@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis import analyze_instructions
 from repro.analysis.scaling import predict_scaling
+from repro.engine import CorpusEngine, WorkUnit
 from repro.isa import parse_kernel
 from repro.kernels import generate_assembly
 from repro.kernels.extended import EXTENDED_KERNELS, all_kernels
@@ -19,25 +20,35 @@ from repro.simulator.coupled import simulate_with_memory
 
 
 def test_extended_suite_sweep(benchmark):
-    """Analyze + simulate every extended kernel on every machine."""
+    """Analyze + simulate every extended kernel on every machine —
+    submitted through the corpus engine as one batch."""
 
     def sweep():
-        out = []
+        cases = []
+        units = []
         for name, k in EXTENDED_KERNELS.items():
             for uarch, persona in (
                 ("golden_cove", "gcc"),
                 ("zen4", "clang"),
                 ("neoverse_v2", "gcc-arm"),
             ):
-                model = get_machine_model(uarch)
                 asm = generate_assembly(k, persona, "O2", uarch)
-                instrs = parse_kernel(asm, model.isa)
-                pred = analyze_instructions(instrs, model).prediction
-                meas = CoreSimulator(model).run(
-                    instrs, iterations=60, warmup=20
-                ).cycles_per_iteration
-                out.append((name, uarch, pred, meas))
-        return out
+                cases.append((name, uarch))
+                units.append(
+                    WorkUnit.make(
+                        "analyze_simulate",
+                        label=f"{uarch}/{name}",
+                        uarch=uarch,
+                        assembly=asm,
+                        iterations=60,
+                        warmup=20,
+                    )
+                )
+        outputs = CorpusEngine(jobs=1).run(units)
+        return [
+            (name, uarch, out["prediction"], out["measurement"])
+            for (name, uarch), out in zip(cases, outputs)
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     assert len(rows) == len(EXTENDED_KERNELS) * 3

@@ -11,15 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..bench.render import ascii_table
-from ..isa import parse_kernel
+from ..engine import CorpusEngine, WorkUnit, resolve_engine
 from ..kernels.codegen import generate_assembly
 from ..kernels.extended import all_kernels
 from ..kernels.personas import PERSONAS
 from ..kernels.suite import KernelSpec
-from ..machine import get_chip_spec, get_machine_model
-from ..simulator.core import CoreSimulator
+from ..machine import get_chip_spec
 from ..simulator.frequency import FrequencyGovernor
-from .throughput import analyze_instructions
 
 _DEFAULT_PERSONA = {"golden_cove": "gcc", "zen4": "gcc", "neoverse_v2": "gcc-arm"}
 _ELEMS = {"golden_cove": {"gcc": 8, "clang": 4, "icx": 8},
@@ -62,27 +60,47 @@ def compare_architectures(
     kernel: str | KernelSpec,
     opt: str = "O2",
     personas: dict[str, str] | None = None,
+    *,
+    engine: CorpusEngine | None = None,
 ) -> ArchComparison:
-    """Run one kernel through all three machines and collect metrics."""
+    """Run one kernel through all three machines and collect metrics.
+
+    The heavy analysis + simulation of the three chips is submitted to
+    the execution engine as one batch (parallel and memoized under
+    ``repro-bench --jobs/--cache``); the per-chip bookkeeping —
+    vector-element accounting and frequency lookup — stays inline.
+    """
     k = kernel if isinstance(kernel, KernelSpec) else all_kernels()[kernel]
     personas = personas or _DEFAULT_PERSONA
-    rows = []
+    cases = []
+    units = []
     for chip in ("gcs", "spr", "genoa"):
         spec = get_chip_spec(chip)
         uarch = spec.uarch
         persona_name = personas.get(uarch, _DEFAULT_PERSONA[uarch])
         p = PERSONAS[persona_name]
-        cfg = p.config(opt)
+        asm = generate_assembly(k, p, opt, uarch)
+        cases.append((chip, spec, persona_name, p.config(opt)))
+        units.append(
+            WorkUnit.make(
+                "analyze_simulate",
+                label=f"{chip}/{k.name}/{opt}",
+                uarch=uarch,
+                assembly=asm,
+                iterations=80,
+                warmup=25,
+            )
+        )
+    outputs = resolve_engine(engine).run(units)
+
+    rows = []
+    for (chip, spec, persona_name, cfg), out in zip(cases, outputs):
+        uarch = spec.uarch
         vec = (
             cfg.vectorize
             and k.vectorizable
             and (not k.needs_fast_math or cfg.fast_math)
         )
-        model = get_machine_model(uarch)
-        asm = generate_assembly(k, p, opt, uarch)
-        instrs = parse_kernel(asm, model.isa)
-        ana = analyze_instructions(instrs, model)
-        meas = CoreSimulator(model).run(instrs, iterations=80, warmup=25)
         if not vec:
             elems = 1
         else:
@@ -92,13 +110,13 @@ def compare_architectures(
         gov = FrequencyGovernor.for_chip(spec)
         isa = spec.isa_classes[-1] if vec else "scalar"
         freq = gov.sustained(1, isa if isa in spec.frequency.power_coeff else "scalar")
-        cy_elem = meas.cycles_per_iteration / elems
+        cy_elem = out["measurement"] / elems
         rows.append(
             {
                 "chip": chip,
-                "prediction": ana.prediction,
-                "measured": meas.cycles_per_iteration,
-                "bottleneck": ana.bottleneck,
+                "prediction": out["prediction"],
+                "measured": out["measurement"],
+                "bottleneck": out["bottleneck"],
                 "elements_per_iteration": elems,
                 "cycles_per_element": cy_elem,
                 "gflops_per_core": k.flops_per_element / cy_elem * freq

@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.scaling import predict_scaling
-from ..analysis.topdown import analyze_topdown
+from ..engine import CorpusEngine, WorkUnit, resolve_engine
 from ..kernels import generate_assembly
 from ..kernels.extended import all_kernels
-from ..machine import get_chip_spec, get_machine_model
+from ..machine import get_chip_spec
 from ..simulator.frequency import FrequencyGovernor
 from .render import ascii_table
 
@@ -128,17 +128,32 @@ def render_scaling(result: dict[str, dict[str, float]] | None = None) -> str:
 TOPDOWN_CASES = (("striad", "O2"), ("sum", "O1"), ("pi", "O2"))
 
 
-def run_topdown() -> list[tuple[str, str, str, float]]:
-    out = []
+def run_topdown(
+    *, engine: CorpusEngine | None = None
+) -> list[tuple[str, str, str, float]]:
     kernels = all_kernels()
+    cases: list[tuple[str, str]] = []
+    units: list[WorkUnit] = []
     for chip in CHIPS:
         spec = get_chip_spec(chip)
         for name, opt in TOPDOWN_CASES:
             persona = "gcc-arm" if spec.uarch == "neoverse_v2" else "gcc"
             asm = generate_assembly(kernels[name], persona, opt, spec.uarch)
-            r = analyze_topdown(asm, get_machine_model(spec.uarch), iterations=80)
-            out.append((chip, name, r.dominant, r.cycles_per_iteration))
-    return out
+            cases.append((chip, name))
+            units.append(
+                WorkUnit.make(
+                    "topdown",
+                    label=f"{chip}/{name}/{opt}",
+                    uarch=spec.uarch,
+                    assembly=asm,
+                    iterations=80,
+                )
+            )
+    outputs = resolve_engine(engine).run(units)
+    return [
+        (chip, name, out["dominant"], out["cycles_per_iteration"])
+        for (chip, name), out in zip(cases, outputs)
+    ]
 
 
 def render_topdown(rows: list[tuple[str, str, str, float]] | None = None) -> str:

@@ -20,13 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..analysis import analyze_instructions
-from ..isa import parse_kernel
+from ..engine import CorpusEngine, WorkUnit, resolve_engine
 from ..kernels import enumerate_corpus
 from ..kernels.corpus import CorpusEntry, unique_assembly_count
-from ..machine import get_machine_model
-from ..mca import MCASimulator
-from ..simulator.core import CoreSimulator
 from .render import ascii_histogram
 
 #: the paper's headline statistics for Fig. 3
@@ -127,37 +123,46 @@ class Fig3Result:
         return out
 
 
+def corpus_units(
+    corpus: list[CorpusEntry], iterations: int = 100
+) -> list[WorkUnit]:
+    """The corpus as engine work units (one per test block)."""
+    return [
+        WorkUnit.make(
+            "corpus",
+            label=e.test_id,
+            uarch=e.uarch,
+            assembly=e.assembly,
+            iterations=iterations,
+        )
+        for e in corpus
+    ]
+
+
 def run(
     machines: tuple[str, ...] = ("spr", "genoa", "gcs"),
     kernels: tuple[str, ...] | None = None,
     iterations: int = 100,
     precision: str = "dp",
+    *,
+    engine: CorpusEngine | None = None,
+    jobs: int | None = None,
+    cache: str | None = None,
 ) -> Fig3Result:
     corpus = enumerate_corpus(
         machines=machines, kernels=kernels, precision=precision
     )
-    models = {}
-    records = []
-    for e in corpus:
-        if e.uarch not in models:
-            models[e.uarch] = get_machine_model(e.uarch)
-        m = models[e.uarch]
-        instrs = parse_kernel(e.assembly, m.isa)
-        ana = analyze_instructions(instrs, m)
-        meas = CoreSimulator(m).run(
-            instrs, iterations=iterations, warmup=max(10, iterations // 3)
+    eng = resolve_engine(engine, jobs, cache)
+    outputs = eng.run(corpus_units(corpus, iterations))
+    records = [
+        Fig3Record(
+            entry=e,
+            measurement=out["measurement"],
+            prediction_osaca=out["prediction_osaca"],
+            prediction_mca=out["prediction_mca"],
         )
-        mca = MCASimulator(m).run(
-            instrs, iterations=max(30, iterations // 2), warmup=15
-        )
-        records.append(
-            Fig3Record(
-                entry=e,
-                measurement=meas.cycles_per_iteration,
-                prediction_osaca=ana.prediction,
-                prediction_mca=mca.cycles_per_iteration,
-            )
-        )
+        for e, out in zip(corpus, outputs)
+    ]
     return Fig3Result(records=records, unique_assembly=unique_assembly_count(corpus))
 
 

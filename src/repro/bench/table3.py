@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..bench.microbench import MicrobenchResult, run_microbenchmarks
+from ..engine import CorpusEngine, WorkUnit, resolve_engine
 from .render import ascii_table
 
 CHIPS = ("gcs", "spr", "genoa")
@@ -31,8 +32,17 @@ ORDER = ("gather", "vec_add", "vec_mul", "vec_fma", "vec_div",
          "scalar_add", "scalar_mul", "scalar_fma", "scalar_div")
 
 
-def run() -> dict[str, list[MicrobenchResult]]:
-    return {chip: run_microbenchmarks(chip) for chip in CHIPS}
+def run(
+    *, engine: CorpusEngine | None = None
+) -> dict[str, list[MicrobenchResult]]:
+    eng = resolve_engine(engine)
+    outputs = eng.run(
+        [WorkUnit.make("microbench", label=chip, chip=chip) for chip in CHIPS]
+    )
+    return {
+        chip: [MicrobenchResult(**r) for r in out["results"]]
+        for chip, out in zip(CHIPS, outputs)
+    }
 
 
 def render(results: dict[str, list[MicrobenchResult]] | None = None) -> str:

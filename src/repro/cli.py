@@ -11,7 +11,12 @@
 
         repro-bench table3
         repro-bench fig4
-        repro-bench all
+        repro-bench all --jobs 4 --cache .repro-cache
+
+    ``--jobs N`` shards the corpus work across N worker processes;
+    ``--cache DIR`` memoizes simulator/analyzer results in an on-disk
+    content-addressed store (see ``docs/engine.md``).  A sub-benchmark
+    failure is reported and the exit code is nonzero.
 """
 
 from __future__ import annotations
@@ -101,6 +106,7 @@ def analyze_main(argv: list[str] | None = None) -> int:
 
 def bench_main(argv: list[str] | None = None) -> int:
     from .bench import EXPERIMENTS, render_experiment
+    from .engine import CorpusEngine, use_engine
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -117,34 +123,66 @@ def bench_main(argv: list[str] | None = None) -> int:
         help="additionally dump the structured results of all named "
              "experiments as JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard corpus-style work across N worker processes "
+             "(default: 1, the exact serial path)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="memoize simulator/analyzer results in an on-disk "
+             "content-addressed cache rooted at DIR",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
+    engine = CorpusEngine(jobs=args.jobs, cache_dir=args.cache)
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
     collected: dict[str, object] = {}
-    for name in names:
-        if name == "verify":
-            _run_verify()
-            continue
-        if name == "report":
-            from .bench.report import generate_report
+    failures: list[str] = []
+    with use_engine(engine):
+        for name in names:
+            try:
+                if name == "verify":
+                    _run_verify()
+                    continue
+                if name == "report":
+                    from .bench.report import generate_report
 
-            summary = generate_report()
-            print(
-                f"report written to {summary['path']}: "
-                f"{summary['passed']}/{summary['total']} acceptance "
-                f"criteria pass ({summary['seconds']:.0f} s)"
-            )
-            continue
-        print(render_experiment(name))
-        print()
-        if args.json:
-            collected[name] = EXPERIMENTS[name].run()
+                    summary = generate_report()
+                    print(
+                        f"report written to {summary['path']}: "
+                        f"{summary['passed']}/{summary['total']} acceptance "
+                        f"criteria pass ({summary['seconds']:.0f} s)"
+                    )
+                    continue
+                print(render_experiment(name))
+                print()
+                if args.json:
+                    collected[name] = EXPERIMENTS[name].run()
+            except Exception as exc:
+                failures.append(name)
+                print(f"ERROR: {name} failed: {exc}", file=sys.stderr)
+    if args.jobs > 1 or args.cache:
+        print(f"[{engine.totals.summary()}]")
     if args.json:
         import json
 
         with open(args.json, "w") as fh:
             json.dump(_jsonable(collected), fh, indent=1)
         print(f"[structured results written to {args.json}]")
+    if failures:
+        print(
+            f"ERROR: {len(failures)} experiment(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

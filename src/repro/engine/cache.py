@@ -1,0 +1,98 @@
+"""On-disk content-addressed result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fan-out keeps
+directories small over full-corpus sweeps.  Values are the evaluator's
+plain-JSON result dicts; Python's ``json`` round-trips floats through
+their shortest-repr form, so a cached result is **bit-identical** to a
+freshly computed one (the differential test relies on this).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent engines
+sharing one cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of evaluator results."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        path = self._path(key)
+        try:
+            value = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        n = 0
+        if not self.root.is_dir():
+            return n
+        for p in self.root.glob("??/*.json"):
+            p.unlink(missing_ok=True)
+            n += 1
+        for d in self.root.glob("??"):
+            try:
+                d.rmdir()
+            except OSError:
+                pass
+        return n

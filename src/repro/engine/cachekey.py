@@ -1,0 +1,111 @@
+"""Content-addressed cache keys for engine work units.
+
+The key must change exactly when the *result* could change:
+
+* the assembly text, **modulo comments and insignificant whitespace**
+  (two compilers emitting the same instructions in different layouts
+  share one cache slot — the paper counts 290 unique representations
+  out of 416 corpus blocks for the same reason),
+* the machine-model parameters (any port, latency, width, buffer-size
+  or table-entry edit reshapes predictions, so the full serialized
+  model is digested),
+* the simulation parameters (iteration counts, warmup, scheduling-data
+  overrides), and
+* :data:`ENGINE_VERSION` — bumped on any semantic change to the
+  evaluators or simulators, so stale caches self-invalidate.
+
+Everything is hashed with SHA-256 over canonical JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from .units import WorkUnit, canonical_json
+
+#: Bump on any change to evaluator semantics, simulator behaviour, or
+#: the key schema itself.  Old cache entries become unreachable (not
+#: wrong) — the cache is append-only and content-addressed.
+ENGINE_VERSION = "1"
+
+#: parameter names that reference a machine model by name/alias and
+#: must be expanded into a full model digest
+_MODEL_REF_PARAMS = ("uarch", "chip", "arch")
+
+
+def canonicalize_assembly(asm: str) -> str:
+    """Normalize assembly text for hashing.
+
+    Removed: blank lines, whole-line comments (``#``, ``//``, ``;`` —
+    ``#`` only at line start, since AArch64 uses it for immediates),
+    trailing ``//`` comments, and runs of whitespace.  Anything that
+    survives — mnemonics, operands, labels, directives — is semantic
+    and must affect the key.
+    """
+    out: list[str] = []
+    for raw in asm.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("#", "//", ";")):
+            continue
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut].rstrip()
+            if not line:
+                continue
+        out.append(" ".join(line.split()))
+    return "\n".join(out)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def machine_model_digest(model_or_name: Any) -> str:
+    """Digest of a machine model's full parameter set.
+
+    Accepts a :class:`~repro.machine.model.MachineModel`, a model
+    name/chip alias, or an already-serialized model dict.
+    """
+    from ..machine.io import model_to_dict
+
+    if isinstance(model_or_name, str):
+        from ..machine import get_machine_model
+
+        model_or_name = get_machine_model(model_or_name)
+    if not isinstance(model_or_name, dict):
+        model_or_name = model_to_dict(model_or_name)
+    return _sha256(canonical_json(model_or_name))
+
+
+def cache_key(
+    unit: WorkUnit,
+    model_digests: Optional[dict[str, str]] = None,
+) -> str:
+    """The content address of a work unit's result.
+
+    ``model_digests`` memoizes per-model digests across a batch (the
+    model serialization is the expensive part of key construction).
+    """
+    params = unit.params
+    keyed: dict[str, Any] = {}
+    for name, value in params.items():
+        if name == "assembly":
+            keyed["assembly_digest"] = _sha256(canonicalize_assembly(value))
+        elif name == "model" and isinstance(value, dict):
+            keyed["model_digest"] = machine_model_digest(value)
+        elif name in _MODEL_REF_PARAMS and isinstance(value, str):
+            if model_digests is not None:
+                if value not in model_digests:
+                    model_digests[value] = machine_model_digest(value)
+                digest = model_digests[value]
+            else:
+                digest = machine_model_digest(value)
+            keyed[name] = value
+            keyed[f"{name}_model_digest"] = digest
+        else:
+            keyed[name] = value
+    payload = canonical_json(
+        {"engine_version": ENGINE_VERSION, "kind": unit.kind, "params": keyed}
+    )
+    return _sha256(payload)

@@ -1,0 +1,179 @@
+"""Evaluators: the computations behind each work-unit kind.
+
+An evaluator maps a unit's plain-data parameters to a plain-JSON
+result dict — nothing else crosses the process or cache boundary.
+Imports are deliberately deferred into the function bodies: the bench
+and analysis layers import the engine, so module-level imports here
+would be circular (and workers only pay for what they run).
+
+Kinds
+-----
+``corpus``
+    The Fig. 3 triple for one corpus block: core-simulator measurement,
+    OSACA-style prediction, MCA baseline prediction.
+``analyze_simulate``
+    Static prediction + simulated measurement (extended-suite sweeps,
+    cross-architecture comparisons).
+``simulate``
+    Core-simulator run only; accepts a serialized machine model for
+    what-if/ablation studies (the cache key then digests the edited
+    model, so perturbations never collide with stock results).
+``mca``
+    MCA baseline run, with optional scheduling-data overrides
+    (the MCA data ablation).
+``microbench``
+    Table III instruction microbenchmarks for one chip.
+``topdown``
+    Top-down cycle attribution for one assembly block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+Evaluator = Callable[[dict], Dict[str, Any]]
+
+_EVALUATORS: dict[str, Evaluator] = {}
+
+
+def evaluator(kind: str) -> Callable[[Evaluator], Evaluator]:
+    """Register an evaluator for a unit kind."""
+
+    def _register(fn: Evaluator) -> Evaluator:
+        _EVALUATORS[kind] = fn
+        return fn
+
+    return _register
+
+
+def known_kinds() -> list[str]:
+    return sorted(_EVALUATORS)
+
+
+def evaluate(kind: str, params: dict) -> dict[str, Any]:
+    """Run one unit's computation; the core of every worker."""
+    try:
+        fn = _EVALUATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown work-unit kind {kind!r}; known: {known_kinds()}"
+        ) from None
+    return fn(params)
+
+
+def _model_from_params(p: dict):
+    """Resolve the machine model a unit refers to (by name or value)."""
+    from ..machine import get_machine_model
+
+    if "model" in p and isinstance(p["model"], dict):
+        from ..machine.io import model_from_dict
+
+        return model_from_dict(p["model"])
+    return get_machine_model(p.get("uarch") or p.get("chip") or p["arch"])
+
+
+@evaluator("corpus")
+def _eval_corpus(p: dict) -> dict[str, Any]:
+    from ..analysis import analyze_instructions
+    from ..isa import parse_kernel
+    from ..mca import MCASimulator
+    from ..simulator.core import CoreSimulator
+
+    model = _model_from_params(p)
+    instrs = parse_kernel(p["assembly"], model.isa)
+    iters = int(p["iterations"])
+    ana = analyze_instructions(instrs, model)
+    meas = CoreSimulator(model).run(
+        instrs, iterations=iters, warmup=max(10, iters // 3)
+    )
+    mca = MCASimulator(model).run(
+        instrs, iterations=max(30, iters // 2), warmup=15
+    )
+    return {
+        "measurement": meas.cycles_per_iteration,
+        "prediction_osaca": ana.prediction,
+        "prediction_mca": mca.cycles_per_iteration,
+        "bottleneck": ana.bottleneck,
+    }
+
+
+@evaluator("analyze_simulate")
+def _eval_analyze_simulate(p: dict) -> dict[str, Any]:
+    from ..analysis import analyze_instructions
+    from ..isa import parse_kernel
+    from ..simulator.core import CoreSimulator
+
+    model = _model_from_params(p)
+    instrs = parse_kernel(p["assembly"], model.isa)
+    ana = analyze_instructions(instrs, model)
+    meas = CoreSimulator(model).run(
+        instrs,
+        iterations=int(p["iterations"]),
+        warmup=int(p["warmup"]),
+    )
+    return {
+        "prediction": ana.prediction,
+        "measurement": meas.cycles_per_iteration,
+        "bottleneck": ana.bottleneck,
+    }
+
+
+@evaluator("simulate")
+def _eval_simulate(p: dict) -> dict[str, Any]:
+    from ..isa import parse_kernel
+    from ..simulator.core import CoreSimulator
+
+    model = _model_from_params(p)
+    instrs = parse_kernel(p["assembly"], model.isa)
+    r = CoreSimulator(model).run(
+        instrs,
+        iterations=int(p["iterations"]),
+        warmup=int(p["warmup"]),
+    )
+    return {
+        "cycles_per_iteration": r.cycles_per_iteration,
+        "total_cycles": r.total_cycles,
+        "instructions_retired": r.instructions_retired,
+    }
+
+
+@evaluator("mca")
+def _eval_mca(p: dict) -> dict[str, Any]:
+    from ..isa import parse_kernel
+    from ..mca import MCASchedData, MCASimulator
+
+    model = _model_from_params(p)
+    instrs = parse_kernel(p["assembly"], model.isa)
+    sched = p.get("sched")
+    data = MCASchedData(model, **sched) if sched else MCASchedData(model)
+    r = MCASimulator(model, data).run(
+        instrs,
+        iterations=int(p["iterations"]),
+        warmup=int(p["warmup"]),
+    )
+    return {"cycles_per_iteration": r.cycles_per_iteration}
+
+
+@evaluator("microbench")
+def _eval_microbench(p: dict) -> dict[str, Any]:
+    import dataclasses
+
+    from ..bench.microbench import run_microbenchmarks
+
+    return {
+        "results": [
+            dataclasses.asdict(r) for r in run_microbenchmarks(p["chip"])
+        ]
+    }
+
+
+@evaluator("topdown")
+def _eval_topdown(p: dict) -> dict[str, Any]:
+    from ..analysis.topdown import analyze_topdown
+
+    model = _model_from_params(p)
+    r = analyze_topdown(p["assembly"], model, iterations=int(p["iterations"]))
+    return {
+        "dominant": r.dominant,
+        "cycles_per_iteration": r.cycles_per_iteration,
+    }

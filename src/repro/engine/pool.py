@@ -1,0 +1,272 @@
+"""The corpus execution engine: sharded workers + memoized results.
+
+The engine takes a batch of :class:`~repro.engine.units.WorkUnit` and
+returns their result dicts **in submission order**, regardless of how
+many workers raced to produce them.  Per-kernel analysis is
+embarrassingly parallel (OSACA's corpus validation exploits the same
+structure), so the parallel schedule is trivial:
+
+1. look every unit up in the content-addressed cache (parent process —
+   hits never pay IPC),
+2. evaluate the misses — inline for ``jobs=1`` (the degenerate serial
+   path, bit-identical by construction), else on a ``multiprocessing``
+   pool via order-preserving ``Pool.map``,
+3. write fresh results back to the cache and reassemble by index.
+
+Metrics (per-unit wall time, cache hit rate, worker utilization) are
+collected on every run; a ``progress`` hook fires once per completed
+unit for live reporting.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .cache import ResultCache
+from .cachekey import cache_key
+from .evaluators import evaluate
+from .units import UnitOutcome, WorkUnit
+
+ProgressHook = Callable[[dict[str, Any]], None]
+
+
+@dataclass
+class EngineMetrics:
+    """Observability for one :meth:`CorpusEngine.run` batch."""
+
+    jobs: int = 1
+    total_units: int = 0
+    cache_hits: int = 0
+    evaluated: int = 0
+    wall_seconds: float = 0.0
+    #: sum of per-unit evaluation times (excludes cache hits)
+    busy_seconds: float = 0.0
+    unit_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total_units if self.total_units else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker-seconds spent evaluating units."""
+        capacity = self.jobs * self.wall_seconds
+        return min(1.0, self.busy_seconds / capacity) if capacity else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"engine: {self.total_units} units in {self.wall_seconds:.2f} s "
+            f"(jobs={self.jobs}, cache hits {self.cache_hits}/"
+            f"{self.total_units} = {self.cache_hit_rate * 100:.0f}%, "
+            f"evaluated {self.evaluated}, "
+            f"utilization {self.worker_utilization * 100:.0f}%)"
+        )
+
+
+class UnitEvaluationError(RuntimeError):
+    """An evaluator raised; carries the unit for actionable reporting.
+
+    The cause is kept as ``repr`` text, not the exception object, so the
+    error survives the pickle round-trip out of a worker process (an
+    unpicklable cause would deadlock ``Pool.map``'s result handler).
+    """
+
+    def __init__(self, unit: WorkUnit, cause_repr: str):
+        super().__init__(
+            f"work unit {unit.kind}:{unit.label or '?'} failed: {cause_repr}"
+        )
+        self.unit = unit
+        self.cause_repr = cause_repr
+
+    def __reduce__(self):
+        return (type(self), (self.unit, self.cause_repr))
+
+
+def _evaluate_timed(unit: WorkUnit) -> tuple[dict[str, Any], float]:
+    """Worker entry point: evaluate one unit, timing it."""
+    t0 = time.perf_counter()
+    try:
+        result = evaluate(unit.kind, unit.params)
+    except Exception as exc:  # surface *which* unit died
+        raise UnitEvaluationError(unit, repr(exc)) from exc
+    return result, time.perf_counter() - t0
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (workers inherit loaded models and user-registered
+    kernels); fall back to the platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+class CorpusEngine:
+    """Sharded, memoizing executor for corpus-style work units.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` (default) runs inline with no pool,
+        producing results bit-identical to any parallel run.
+    cache_dir:
+        Root of the on-disk content-addressed result cache; ``None``
+        disables memoization.
+    progress:
+        Optional hook called once per completed unit with a dict:
+        ``{"unit", "index", "cached", "seconds", "completed", "total"}``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str | os.PathLike] = None,
+        progress: Optional[ProgressHook] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress
+        #: metrics of the most recent :meth:`run` batch
+        self.metrics = EngineMetrics(jobs=self.jobs)
+        #: metrics accumulated over the engine's lifetime
+        self.totals = EngineMetrics(jobs=self.jobs)
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
+        """Execute a batch; results come back in submission order."""
+        units = list(units)
+        t0 = time.perf_counter()
+        metrics = EngineMetrics(jobs=self.jobs, total_units=len(units))
+        self._completed = 0
+
+        results: list[Optional[dict[str, Any]]] = [None] * len(units)
+        outcomes: list[Optional[UnitOutcome]] = [None] * len(units)
+        pending: list[tuple[int, WorkUnit, Optional[str]]] = []
+
+        model_digests: dict[str, str] = {}
+        caching = self.cache is not None
+        for i, unit in enumerate(units):
+            key = cache_key(unit, model_digests) if caching else None
+            hit = self.cache.get(key) if caching else None
+            if hit is not None:
+                results[i] = hit
+                outcomes[i] = UnitOutcome(i, unit, True, 0.0, hit)
+                metrics.cache_hits += 1
+                self._emit(unit, i, True, 0.0, len(units))
+            else:
+                pending.append((i, unit, key))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                evaluated = [_evaluate_timed(u) for _, u, _ in pending]
+            else:
+                ctx = _pool_context()
+                with ctx.Pool(processes=self.jobs) as pool:
+                    evaluated = pool.map(
+                        _evaluate_timed,
+                        [u for _, u, _ in pending],
+                        chunksize=max(1, len(pending) // (self.jobs * 4)),
+                    )
+            for (i, unit, key), (result, seconds) in zip(pending, evaluated):
+                results[i] = result
+                outcomes[i] = UnitOutcome(i, unit, False, seconds, result)
+                metrics.evaluated += 1
+                metrics.busy_seconds += seconds
+                metrics.unit_seconds.append(seconds)
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, result)
+                self._emit(unit, i, False, seconds, len(units))
+
+        metrics.wall_seconds = time.perf_counter() - t0
+        self.metrics = metrics
+        self.totals.total_units += metrics.total_units
+        self.totals.cache_hits += metrics.cache_hits
+        self.totals.evaluated += metrics.evaluated
+        self.totals.wall_seconds += metrics.wall_seconds
+        self.totals.busy_seconds += metrics.busy_seconds
+        self.totals.unit_seconds.extend(metrics.unit_seconds)
+        self.last_outcomes = [o for o in outcomes if o is not None]
+        return [r for r in results if r is not None]
+
+    def map(
+        self, kind: str, param_sets: Sequence[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Convenience: build units of one kind and run them."""
+        return self.run([WorkUnit.make(kind, **p) for p in param_sets])
+
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self, unit: WorkUnit, index: int, cached: bool, seconds: float,
+        total: int,
+    ) -> None:
+        self._completed += 1
+        if self.progress is None:
+            return
+        self.progress(
+            {
+                "unit": unit,
+                "index": index,
+                "cached": cached,
+                "seconds": seconds,
+                "completed": self._completed,
+                "total": total,
+            }
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ambient engine: the CLI installs one; library paths pick it up without
+# threading an engine argument through every render()/run() signature.
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[CorpusEngine] = None
+
+
+def get_default_engine() -> CorpusEngine:
+    """The ambient engine — a serial, cache-less one unless installed."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = CorpusEngine(jobs=1)
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[CorpusEngine]) -> None:
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+
+
+@contextlib.contextmanager
+def use_engine(engine: CorpusEngine):
+    """Temporarily install *engine* as the ambient default."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    try:
+        yield engine
+    finally:
+        _DEFAULT_ENGINE = previous
+
+
+def resolve_engine(
+    engine: Optional[CorpusEngine] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[str | os.PathLike] = None,
+) -> CorpusEngine:
+    """Pick the engine for a library call.
+
+    Explicit ``engine`` wins; ``jobs``/``cache`` build a one-off engine;
+    otherwise the ambient default (serial unless the CLI installed one).
+    """
+    if engine is not None:
+        return engine
+    if jobs is not None or cache is not None:
+        return CorpusEngine(jobs=jobs or 1, cache_dir=cache)
+    return get_default_engine()

@@ -1,0 +1,59 @@
+"""Full 416-variant corpus sweep through the engine (opt-in).
+
+The complete 13 kernels x 4 opt levels x (3 x86 + 2 ARM personas)
+matrix is expensive, so it is ``@pytest.mark.slow`` and deselected by
+default (``addopts = -m 'not slow'``).  Run it with::
+
+    make test               # or: pytest -m slow tests/test_corpus_sweep_slow.py
+
+It is the end-to-end gate for the engine: the sweep must produce all
+416 records, a warm-cache rerun must hit on every unit and reproduce
+every cycle prediction bit for bit, and the headline Fig. 3 statistics
+must stay inside the paper's envelope.
+"""
+
+import pytest
+
+from repro.bench import fig3
+from repro.engine import CorpusEngine
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def cached_engine(tmp_path_factory):
+    return CorpusEngine(jobs=2, cache_dir=tmp_path_factory.mktemp("sweep-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_sweep(cached_engine):
+    return fig3.run(engine=cached_engine)
+
+
+def _triples(result):
+    return [
+        (r.entry.test_id, r.measurement, r.prediction_osaca, r.prediction_mca)
+        for r in result.records
+    ]
+
+
+def test_full_corpus_is_416_variants(cached_engine, cold_sweep):
+    assert len(cold_sweep.records) == 416
+    assert cached_engine.metrics.cache_hits == 0
+    assert cached_engine.metrics.evaluated == 416
+
+
+def test_warm_rerun_hits_everywhere_and_is_bit_identical(
+    cached_engine, cold_sweep
+):
+    warm = fig3.run(engine=cached_engine)
+    assert cached_engine.metrics.cache_hits == 416
+    assert cached_engine.metrics.evaluated == 0
+    assert _triples(warm) == _triples(cold_sweep)
+
+
+def test_headline_statistics_hold_over_full_sweep(cold_sweep):
+    osaca = cold_sweep.summary("osaca")
+    mca = cold_sweep.summary("mca")
+    assert osaca["right_side_fraction"] >= 0.90
+    assert osaca["global_rpe"] < mca["global_rpe"]

@@ -1,0 +1,70 @@
+"""Differential determinism: parallel == serial, bit for bit.
+
+The tentpole's correctness gate.  A 40-variant corpus slice (two
+kernels on Genoa and Grace: 2 kernels x 4 opt levels x (3 + 2)
+personas) runs three ways — serial, ``jobs=4``, and ``jobs=4`` over a
+warm cache — and every per-kernel cycle prediction must be
+**bit-identical** (``==`` on floats, no tolerance), along with the
+Fig. 3 summary statistics derived from them.
+"""
+
+import pytest
+
+from repro.bench import fig3
+from repro.engine import CorpusEngine
+
+SLICE = dict(machines=("genoa", "gcs"), kernels=("striad", "sum"), iterations=60)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return fig3.run(**SLICE, engine=CorpusEngine(jobs=1))
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return fig3.run(**SLICE, engine=CorpusEngine(jobs=4))
+
+
+def _triples(result):
+    return [
+        (r.entry.test_id, r.measurement, r.prediction_osaca, r.prediction_mca)
+        for r in result.records
+    ]
+
+
+def test_slice_is_40_variants(serial_result):
+    assert len(serial_result.records) == 40
+
+
+def test_parallel_records_bit_identical(serial_result, parallel_result):
+    assert _triples(parallel_result) == _triples(serial_result)
+
+
+def test_summary_statistics_identical(serial_result, parallel_result):
+    for which in ("osaca", "mca"):
+        assert parallel_result.summary(which) == serial_result.summary(which)
+        assert parallel_result.per_arch_summary(
+            which
+        ) == serial_result.per_arch_summary(which)
+    assert parallel_result.left_side_tests() == serial_result.left_side_tests()
+    assert parallel_result.stratified("kernel") == serial_result.stratified(
+        "kernel"
+    )
+
+
+def test_cache_roundtrip_bit_identical(serial_result, tmp_path):
+    """A warm-cache parallel run reproduces the serial numbers exactly —
+    the JSON float round-trip must not perturb a single bit."""
+    eng = CorpusEngine(jobs=4, cache_dir=tmp_path / "cache")
+    cold = fig3.run(**SLICE, engine=eng)
+    assert eng.metrics.cache_hits == 0 and eng.metrics.evaluated == 40
+    warm = fig3.run(**SLICE, engine=eng)
+    assert eng.metrics.cache_hits == 40 and eng.metrics.evaluated == 0
+    assert _triples(cold) == _triples(serial_result)
+    assert _triples(warm) == _triples(serial_result)
+
+
+def test_jobs_count_does_not_matter(serial_result):
+    two = fig3.run(**SLICE, engine=CorpusEngine(jobs=2))
+    assert _triples(two) == _triples(serial_result)

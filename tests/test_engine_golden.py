@@ -1,0 +1,93 @@
+"""Golden-file regression gate for the Fig. 3 summary statistics.
+
+A pinned 24-variant corpus subset (the ``striad`` kernel on SPR and
+Genoa: 4 opt levels x (3 + 3) personas) is swept through the engine and
+its per-arch MAPE summary — global mean |RPE| and mean right-side RPE
+per microarchitecture, for both our model and the MCA baseline — is
+compared against ``tests/golden/fig3_mape.json``.
+
+Any machine-model, analyzer, simulator, or codegen edit that moves the
+headline validation statistics fails *here*, loudly, instead of
+drifting silently under the looser threshold tests.  After an
+*intentional* change, regenerate with::
+
+    PYTHONPATH=src python tests/test_engine_golden.py --regen
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import fig3
+from repro.engine import CorpusEngine
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig3_mape.json"
+
+#: pinned subset: deterministic, 24 variants, two microarchitectures
+SUBSET = dict(machines=("spr", "genoa"), kernels=("striad",), iterations=100)
+
+#: float digits pinned in the snapshot (well above model noise, below
+#: platform-rounding noise)
+DIGITS = 9
+
+
+def _round(obj):
+    if isinstance(obj, float):
+        return round(obj, DIGITS)
+    if isinstance(obj, dict):
+        return {k: _round(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_round(v) for v in obj]
+    return obj
+
+
+def compute_snapshot() -> dict:
+    result = fig3.run(**SUBSET, engine=CorpusEngine(jobs=1))
+    snap = {
+        "subset": {
+            "machines": list(SUBSET["machines"]),
+            "kernels": list(SUBSET["kernels"]),
+            "iterations": SUBSET["iterations"],
+            "tests": len(result.records),
+        },
+    }
+    for which in ("osaca", "mca"):
+        s = result.summary(which)
+        snap[which] = {
+            "per_arch_mape": result.per_arch_summary(which),
+            "global_rpe": s["global_rpe"],
+            "avg_right_rpe": s["avg_right_rpe"],
+            "right_side_fraction": s["right_side_fraction"],
+        }
+    return _round(snap)
+
+
+def test_subset_is_pinned_24_variants():
+    assert compute_snapshot()["subset"]["tests"] == 24
+
+
+def test_fig3_mape_matches_golden():
+    assert GOLDEN_PATH.is_file(), (
+        f"golden file missing: {GOLDEN_PATH} — regenerate with "
+        f"`python {__file__} --regen`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = compute_snapshot()
+    assert current == golden, (
+        "Fig. 3 MAPE summary drifted from the golden snapshot.\n"
+        "If the model/simulator change is intentional, regenerate with:\n"
+        f"    PYTHONPATH=src python {__file__} --regen\n"
+        f"golden:  {json.dumps(golden, indent=1, sort_keys=True)}\n"
+        f"current: {json.dumps(current, indent=1, sort_keys=True)}"
+    )
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(compute_snapshot(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"regenerated {GOLDEN_PATH}")
+    else:
+        print(__doc__)
