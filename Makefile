@@ -5,7 +5,7 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast bench report verify all-figures clean
+.PHONY: install test test-fast bench report verify all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,10 +30,14 @@ verify:
 all-figures:
 	$(PY) -c "from repro.cli import bench_main; bench_main(['all'])"
 
+# sample pipeline trace (open trace-demo.json in https://ui.perfetto.dev)
+trace-demo:
+	$(PY) -c "from repro.cli import analyze_main; analyze_main(['examples/triad.s', '--arch', 'genoa', '--trace', 'trace-demo.json'])"
+
 outputs:
 	$(PY) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks .repro-cache
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks .repro-cache trace-demo.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

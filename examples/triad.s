@@ -1,0 +1,9 @@
+# Schönauer triad (a[i] = b[i] + s * c[i]), AVX2, as gcc -O2 lays it
+# out — the demo kernel for `make trace-demo` and docs/observability.md.
+.L4:
+    vmovupd (%rax,%rcx,8), %ymm0
+    vfmadd231pd (%rbx,%rcx,8), %ymm1, %ymm0
+    vmovupd %ymm0, (%rdx,%rcx,8)
+    addq $4, %rcx
+    cmpq %rsi, %rcx
+    jb .L4

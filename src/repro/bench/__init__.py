@@ -45,15 +45,20 @@ EXPERIMENTS = {
 }
 
 
-def render_experiment(name: str) -> str:
-    """Render one experiment by name (``table1`` … ``fig4``)."""
+def render_experiment(name: str, result=None) -> str:
+    """Render one experiment by name (``table1`` … ``fig4``).
+
+    Passing the experiment's structured ``run()`` result renders it
+    without re-running — ``repro-bench --json``/``--run-report`` use
+    this to evaluate each experiment exactly once.
+    """
     try:
         mod = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return mod.render()
+    return mod.render() if result is None else mod.render(result)
 
 
 __all__ = [

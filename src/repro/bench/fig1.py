@@ -42,8 +42,9 @@ _PORT_DESCRIPTIONS = {
 }
 
 
-def render(uarch: str = "neoverse_v2") -> str:
-    model = get_machine_model(uarch)
+def render(model: MachineModel | str | None = None) -> str:
+    if not isinstance(model, MachineModel):
+        model = get_machine_model(model or "neoverse_v2")
     desc = _PORT_DESCRIPTIONS.get(model.name, {})
     lines = [
         f"Fig. 1 — {model.name} port model ({len(model.ports)} ports)",

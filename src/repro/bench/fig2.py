@@ -45,6 +45,21 @@ def run() -> list[Fig2Series]:
     return out
 
 
+def manifest_stats(series: list[Fig2Series]) -> dict:
+    """Full-socket frequency MAPE versus the paper's endpoints, for
+    run-report manifests (see :mod:`repro.obs.report`)."""
+    errs = [
+        abs(s.full_socket_ghz - PAPER_REFERENCE[(s.chip, s.isa_class)])
+        / PAPER_REFERENCE[(s.chip, s.isa_class)]
+        for s in series
+        if (s.chip, s.isa_class) in PAPER_REFERENCE
+    ]
+    return {
+        "series": len(series),
+        "full_socket_mape": sum(errs) / len(errs) if errs else 0.0,
+    }
+
+
 def render(series: list[Fig2Series] | None = None) -> str:
     series = series or run()
     blocks = []

@@ -123,6 +123,26 @@ class Fig3Result:
         return out
 
 
+def manifest_stats(result: Fig3Result) -> dict:
+    """Accuracy statistics recorded in run-report manifests.
+
+    Consumed by :mod:`repro.obs.report`; metric names follow its
+    direction conventions (``*rpe*``/``off_by*`` lower-is-better,
+    ``right_side*``/``within_*`` higher-is-better) so ``repro-report``
+    can classify deltas as regressions or improvements.
+    """
+    return {
+        "tests": len(result.records),
+        "unique_assembly": result.unique_assembly,
+        "osaca": result.summary("osaca"),
+        "mca": result.summary("mca"),
+        "per_arch_global_rpe": {
+            uarch: s["global_rpe"]
+            for uarch, s in result.per_arch_summary("osaca").items()
+        },
+    }
+
+
 def corpus_units(
     corpus: list[CorpusEntry], iterations: int = 100
 ) -> list[WorkUnit]:

@@ -45,6 +45,26 @@ def run(
     }
 
 
+def manifest_stats(results: dict[str, list[MicrobenchResult]]) -> dict:
+    """Per-chip MAPE versus the paper's Table III, for run-report
+    manifests (see :mod:`repro.obs.report`)."""
+    tput_mape: dict[str, float] = {}
+    lat_mape: dict[str, float] = {}
+    for chip, rs in results.items():
+        t_errs, l_errs = [], []
+        for r in rs:
+            ref = PAPER_REFERENCE.get(chip, {}).get(r.instruction)
+            if ref is None:
+                continue
+            ref_t, ref_l = ref
+            t_errs.append(abs(r.throughput_per_cycle - ref_t) / ref_t)
+            l_errs.append(abs(r.latency_cycles - ref_l) / ref_l)
+        if t_errs:
+            tput_mape[chip] = sum(t_errs) / len(t_errs)
+            lat_mape[chip] = sum(l_errs) / len(l_errs)
+    return {"throughput_mape": tput_mape, "latency_mape": lat_mape}
+
+
 def render(results: dict[str, list[MicrobenchResult]] | None = None) -> str:
     results = results or run()
     by = {

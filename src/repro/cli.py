@@ -5,6 +5,13 @@
 
         repro-analyze loop.s --arch zen4
         repro-analyze loop.s --arch grace --compare   # + simulator + MCA
+        repro-analyze loop.s --arch genoa --trace t.json  # pipeline trace
+
+    ``--trace PATH`` runs the core simulator with the
+    :mod:`repro.obs` tracer attached and writes a Chrome trace-event
+    JSON of the pipeline schedule (per-instruction dispatch/µop/retire
+    events on port lanes, cause-attributed stalls) — open it in
+    Perfetto or ``chrome://tracing``.
 
 ``repro-bench``
     Regenerate the paper's tables and figures::
@@ -12,11 +19,25 @@
         repro-bench table3
         repro-bench fig4
         repro-bench all --jobs 4 --cache .repro-cache
+        repro-bench fig3 --run-report r.json --trace engine.json
 
     ``--jobs N`` shards the corpus work across N worker processes;
     ``--cache DIR`` memoizes simulator/analyzer results in an on-disk
     content-addressed store (see ``docs/engine.md``).  A sub-benchmark
-    failure is reported and the exit code is nonzero.
+    failure is reported and the exit code is nonzero.  On an
+    interactive terminal, per-unit progress renders as a stderr bar.
+    ``--run-report PATH`` writes a structured manifest of the run
+    (config, model digests, per-benchmark accuracy, timings).
+
+``repro-report``
+    Diff two run-report manifests and flag accuracy or runtime
+    regressions::
+
+        repro-report baseline.json current.json
+        repro-report baseline.json current.json --check   # CI gate
+
+    ``--check`` exits nonzero when regressions are found (see
+    ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -62,6 +83,13 @@ def analyze_main(argv: list[str] | None = None) -> int:
         help="render an llvm-mca-style pipeline timeline of the first "
              "iterations on the core simulator",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="simulate the kernel with the pipeline tracer attached and "
+             "write a Chrome trace-event JSON (open in Perfetto or "
+             "chrome://tracing)",
+    )
     args = parser.parse_args(argv)
 
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
@@ -87,11 +115,45 @@ def analyze_main(argv: list[str] | None = None) -> int:
         print("Pipeline timeline (core simulator, first 3 iterations):")
         print(timeline(source, args.arch, iterations=3))
 
+    meas = None
+    if args.trace:
+        from .obs.trace import Tracer
+        from .simulator import simulate_kernel
+
+        tracer = Tracer()
+        meas = simulate_kernel(
+            source, args.arch, tracer=tracer, collect_stalls=True
+        )
+        tracer.write(
+            args.trace,
+            other_data={
+                "arch": args.arch,
+                "cycles_per_iteration": meas.cycles_per_iteration,
+                "total_cycles": meas.total_cycles,
+                "iterations": meas.iterations,
+                "warmup_iterations": meas.warmup_iterations,
+                "stall_cycles": meas.stall_cycles,
+            },
+        )
+        print()
+        print(
+            f"[trace: {len(tracer.events)} events "
+            f"({meas.total_cycles:.0f} simulated cycles) "
+            f"written to {args.trace}]"
+        )
+        top = sorted(
+            meas.stall_cycles.items(), key=lambda kv: -kv[1]
+        )[:3]
+        shown = ", ".join(f"{k}={v:.0f}" for k, v in top if v > 0)
+        if shown:
+            print(f"[stall cycles by cause: {shown}]")
+
     if args.compare:
         from .mca import mca_predict
         from .simulator import simulate_kernel
 
-        meas = simulate_kernel(source, args.arch)
+        if meas is None:
+            meas = simulate_kernel(source, args.arch)
         mca = mca_predict(source, args.arch)
         print()
         print(f"Simulated measurement:      {meas.cycles_per_iteration:8.2f} cy/iter")
@@ -105,6 +167,9 @@ def analyze_main(argv: list[str] | None = None) -> int:
 
 
 def bench_main(argv: list[str] | None = None) -> int:
+    import contextlib
+    import time
+
     from .bench import EXPERIMENTS, render_experiment
     from .engine import CorpusEngine, use_engine
 
@@ -137,21 +202,52 @@ def bench_main(argv: list[str] | None = None) -> int:
         help="memoize simulator/analyzer results in an on-disk "
              "content-addressed cache rooted at DIR",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the engine's work-unit "
+             "schedule (worker lanes, cache hit/miss events)",
+    )
+    parser.add_argument(
+        "--run-report",
+        metavar="PATH",
+        dest="run_report",
+        help="write a structured run-report manifest (config, model "
+             "digests, per-benchmark accuracy stats, timings); diff two "
+             "with repro-report",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    engine = CorpusEngine(jobs=args.jobs, cache_dir=args.cache)
+    from .obs.progress import ProgressBar
+
+    progress = ProgressBar.if_tty()
+    engine = CorpusEngine(
+        jobs=args.jobs, cache_dir=args.cache, progress=progress
+    )
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    structured = bool(args.json or args.run_report)
     collected: dict[str, object] = {}
+    bench_records: dict[str, dict] = {}
     failures: list[str] = []
-    with use_engine(engine):
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    tracer = None
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_engine(engine))
+        if progress is not None:
+            stack.callback(progress.finish)
+        if args.trace:
+            from .obs.trace import Tracer, use_tracer
+
+            tracer = Tracer()
+            stack.enter_context(use_tracer(tracer))
         for name in names:
+            t0 = time.perf_counter()
             try:
                 if name == "verify":
                     _run_verify()
-                    continue
-                if name == "report":
+                elif name == "report":
                     from .bench.report import generate_report
 
                     summary = generate_report()
@@ -160,22 +256,72 @@ def bench_main(argv: list[str] | None = None) -> int:
                         f"{summary['passed']}/{summary['total']} acceptance "
                         f"criteria pass ({summary['seconds']:.0f} s)"
                     )
-                    continue
-                print(render_experiment(name))
-                print()
-                if args.json:
-                    collected[name] = EXPERIMENTS[name].run()
+                elif structured and name in EXPERIMENTS:
+                    result = EXPERIMENTS[name].run()
+                    collected[name] = result
+                    if progress is not None:
+                        progress.finish()
+                    print(render_experiment(name, result))
+                    print()
+                else:
+                    print(render_experiment(name))
+                    print()
             except Exception as exc:
                 failures.append(name)
+                bench_records[name] = {
+                    "status": "error",
+                    "seconds": time.perf_counter() - t0,
+                    "error": str(exc),
+                }
                 print(f"ERROR: {name} failed: {exc}", file=sys.stderr)
+            else:
+                record: dict = {
+                    "status": "ok",
+                    "seconds": time.perf_counter() - t0,
+                }
+                if args.run_report and name in collected:
+                    from .obs.report import benchmark_stats
+
+                    record["stats"] = benchmark_stats(name, collected[name])
+                bench_records[name] = record
+            finally:
+                if progress is not None:
+                    progress.finish()
     if args.jobs > 1 or args.cache:
         print(f"[{engine.totals.summary()}]")
+    if tracer is not None:
+        tracer.write(
+            args.trace,
+            other_data={"command": "repro-bench", "experiments": names},
+        )
+        print(f"[engine trace written to {args.trace}]")
     if args.json:
         import json
 
         with open(args.json, "w") as fh:
             json.dump(_jsonable(collected), fh, indent=1)
         print(f"[structured results written to {args.json}]")
+    if args.run_report:
+        from .obs.metrics import get_registry
+        from .obs.report import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command="repro-bench",
+            config={
+                "experiments": names,
+                "jobs": args.jobs,
+                "cache": bool(args.cache),
+                "trace": bool(args.trace),
+            },
+            benchmarks=bench_records,
+            wall_seconds=time.perf_counter() - wall0,
+            cpu_seconds=time.process_time() - cpu0,
+            engine=engine,
+            registry=get_registry(),
+            failures=failures,
+        )
+        write_manifest(manifest, args.run_report)
+        print(f"[run report written to {args.run_report}]")
     if failures:
         print(
             f"ERROR: {len(failures)} experiment(s) failed: "
@@ -186,22 +332,82 @@ def bench_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def report_main(argv: list[str] | None = None) -> int:
+    """``repro-report`` — diff two run-report manifests."""
+    from .obs.report import diff_manifests, load_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="diff two repro-bench run-report manifests and flag "
+                    "accuracy or runtime regressions",
+    )
+    parser.add_argument("baseline", help="baseline manifest JSON")
+    parser.add_argument("current", help="current manifest JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when regressions are found (CI gate mode)",
+    )
+    parser.add_argument(
+        "--accuracy-tolerance",
+        type=float,
+        default=1e-6,
+        metavar="REL",
+        help="relative tolerance before an accuracy stat counts as "
+             "regressed (default: 1e-6)",
+    )
+    parser.add_argument(
+        "--runtime-tolerance",
+        type=float,
+        default=0.25,
+        metavar="REL",
+        help="relative wall-time growth tolerated before flagging a "
+             "runtime regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally dump the findings as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_manifest(args.baseline)
+        current = load_manifest(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_manifests(
+        baseline,
+        current,
+        accuracy_tolerance=args.accuracy_tolerance,
+        runtime_tolerance=args.runtime_tolerance,
+    )
+    print(diff.render())
+    if args.json:
+        import dataclasses
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "ok": diff.ok,
+                    "compared_metrics": diff.compared_metrics,
+                    "findings": [dataclasses.asdict(f) for f in diff.findings],
+                },
+                fh,
+                indent=1,
+            )
+    if args.check and not diff.ok:
+        return 1
+    return 0
+
+
 def _jsonable(obj):
     """Recursively convert dataclasses/tuples to JSON-safe structures."""
-    import dataclasses
+    from .obs.report import jsonable
 
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: _jsonable(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonable(v) for v in obj]
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    return str(obj)
+    return jsonable(obj)
 
 
 def _run_verify() -> None:

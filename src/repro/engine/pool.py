@@ -59,12 +59,20 @@ class EngineMetrics:
         return min(1.0, self.busy_seconds / capacity) if capacity else 0.0
 
     def summary(self) -> str:
+        if self.total_units == 0:
+            return f"engine: 0 units (jobs={self.jobs}, nothing to evaluate)"
+        # Utilization is meaningless when nothing was evaluated (an
+        # all-cache-hit batch would misleadingly print 0%).
+        util = (
+            f"utilization {self.worker_utilization * 100:.0f}%"
+            if self.evaluated
+            else "utilization n/a (no units evaluated)"
+        )
         return (
             f"engine: {self.total_units} units in {self.wall_seconds:.2f} s "
             f"(jobs={self.jobs}, cache hits {self.cache_hits}/"
             f"{self.total_units} = {self.cache_hit_rate * 100:.0f}%, "
-            f"evaluated {self.evaluated}, "
-            f"utilization {self.worker_utilization * 100:.0f}%)"
+            f"evaluated {self.evaluated}, {util})"
         )
 
 
@@ -120,6 +128,11 @@ class CorpusEngine:
     progress:
         Optional hook called once per completed unit with a dict:
         ``{"unit", "index", "cached", "seconds", "completed", "total"}``.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when absent, the ambient
+        tracer (``repro.obs.use_tracer``) is consulted per batch.  Each
+        batch emits per-unit spans on worker lanes plus cache hit/miss
+        instants.
     """
 
     def __init__(
@@ -127,10 +140,12 @@ class CorpusEngine:
         jobs: int = 1,
         cache_dir: Optional[str | os.PathLike] = None,
         progress: Optional[ProgressHook] = None,
+        tracer=None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
+        self.tracer = tracer
         #: metrics of the most recent :meth:`run` batch
         self.metrics = EngineMetrics(jobs=self.jobs)
         #: metrics accumulated over the engine's lifetime
@@ -146,6 +161,22 @@ class CorpusEngine:
         metrics = EngineMetrics(jobs=self.jobs, total_units=len(units))
         self._completed = 0
 
+        tracer = self.tracer
+        if tracer is None:
+            from ..obs.trace import active_tracer
+
+            tracer = active_tracer()
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            from ..obs.trace import (
+                PID_ENGINE,
+                TID_ENGINE_CONTROL,
+                TID_WORKER_BASE,
+            )
+
+            tracer.engine_lanes(self.jobs)
+            batch_t0_us = tracer.now_us()
+
         results: list[Optional[dict[str, Any]]] = [None] * len(units)
         outcomes: list[Optional[UnitOutcome]] = [None] * len(units)
         pending: list[tuple[int, WorkUnit, Optional[str]]] = []
@@ -159,6 +190,12 @@ class CorpusEngine:
                 results[i] = hit
                 outcomes[i] = UnitOutcome(i, unit, True, 0.0, hit)
                 metrics.cache_hits += 1
+                if tracing:
+                    tracer.instant(
+                        f"cache-hit:{unit.label or unit.kind}",
+                        tracer.now_us(), PID_ENGINE, TID_ENGINE_CONTROL,
+                        cat="cache", args={"index": i},
+                    )
                 self._emit(unit, i, True, 0.0, len(units))
             else:
                 pending.append((i, unit, key))
@@ -183,6 +220,26 @@ class CorpusEngine:
                 if self.cache is not None and key is not None:
                     self.cache.put(key, result)
                 self._emit(unit, i, False, seconds, len(units))
+            if tracing:
+                # Per-unit spans on worker lanes, reconstructed from the
+                # measured durations by greedy earliest-free-lane packing
+                # — exact for jobs=1, an approximation of the pool's
+                # chunked schedule otherwise (flagged in the args).
+                lane_free = [batch_t0_us] * self.jobs
+                for (i, unit, _key), (_res, seconds) in zip(
+                    pending, evaluated
+                ):
+                    lane = min(
+                        range(self.jobs), key=lane_free.__getitem__
+                    )
+                    dur = seconds * 1e6
+                    tracer.complete(
+                        unit.label or unit.kind, lane_free[lane], dur,
+                        PID_ENGINE, TID_WORKER_BASE + lane, cat="unit",
+                        args={"index": i, "kind": unit.kind,
+                              "reconstructed": self.jobs > 1},
+                    )
+                    lane_free[lane] += dur
 
         metrics.wall_seconds = time.perf_counter() - t0
         self.metrics = metrics
@@ -193,6 +250,19 @@ class CorpusEngine:
         self.totals.busy_seconds += metrics.busy_seconds
         self.totals.unit_seconds.extend(metrics.unit_seconds)
         self.last_outcomes = [o for o in outcomes if o is not None]
+
+        if tracing:
+            tracer.complete(
+                "engine.run", batch_t0_us, tracer.now_us() - batch_t0_us,
+                PID_ENGINE, TID_ENGINE_CONTROL, cat="batch",
+                args={"units": metrics.total_units,
+                      "cache_hits": metrics.cache_hits,
+                      "evaluated": metrics.evaluated},
+            )
+
+        from ..obs.metrics import record_engine_metrics
+
+        record_engine_metrics(metrics)
         return [r for r in results if r is not None]
 
     def map(

@@ -1,0 +1,85 @@
+"""``repro.obs`` — cross-cutting observability: tracing, metrics, reports.
+
+The paper's contribution is *explainability* — attributing cycles to
+ports, dependency chains, and frontend limits.  This package gives the
+reproduction the same property at runtime, in three layers:
+
+* :mod:`.trace` — a low-overhead span/event tracer with Chrome
+  trace-event JSON export.  The core simulator emits per-instruction
+  dispatch/issue/retire events on port lanes plus cause-attributed
+  stall events; the corpus engine emits per-unit spans on worker lanes
+  with cache hit/miss annotations.  Open traces in Perfetto or
+  ``chrome://tracing``.
+* :mod:`.metrics` — a counter/gauge/histogram registry with
+  snapshot/delta semantics and text + JSON exporters; absorbs the
+  engine's :class:`~repro.engine.pool.EngineMetrics` and the
+  simulator's stall counters behind one API.
+* :mod:`.report` — structured run-report manifests written by
+  ``repro-bench --run-report`` and diffed by the ``repro-report`` CLI,
+  which flags accuracy and runtime regressions (``--check`` makes it a
+  CI gate).
+
+:mod:`.progress` additionally renders the engine's progress hook as a
+stderr TTY progress bar.  See ``docs/observability.md``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    record_engine_metrics,
+    record_stall_cycles,
+    set_registry,
+    use_registry,
+)
+from .progress import ProgressBar, is_tty
+from .report import (
+    Finding,
+    ManifestDiff,
+    benchmark_stats,
+    build_manifest,
+    diff_manifests,
+    jsonable,
+    load_manifest,
+    write_manifest,
+)
+from .trace import (
+    PID_ENGINE,
+    PID_SIM,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "PID_ENGINE",
+    "PID_SIM",
+    "Counter",
+    "Finding",
+    "Gauge",
+    "Histogram",
+    "ManifestDiff",
+    "MetricsRegistry",
+    "NullTracer",
+    "ProgressBar",
+    "Tracer",
+    "active_tracer",
+    "benchmark_stats",
+    "build_manifest",
+    "diff_manifests",
+    "get_registry",
+    "is_tty",
+    "jsonable",
+    "load_manifest",
+    "record_engine_metrics",
+    "record_stall_cycles",
+    "set_active_tracer",
+    "set_registry",
+    "use_registry",
+    "use_tracer",
+    "write_manifest",
+]

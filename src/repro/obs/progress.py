@@ -1,0 +1,87 @@
+"""A stderr TTY progress bar for the engine's per-unit progress hook.
+
+``repro-bench`` attaches one as :attr:`CorpusEngine.progress` when (and
+only when) stderr is an interactive terminal — piped or redirected runs
+(CI logs, ``2>file``) see no control characters.  The bar redraws in
+place with carriage returns and erases itself on :meth:`finish`, so
+interleaved ``print`` output stays clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+
+def is_tty(stream: Optional[TextIO] = None) -> bool:
+    """Conservative TTY check: any failure means "not a terminal"."""
+    stream = sys.stderr if stream is None else stream
+    try:
+        return bool(stream.isatty())
+    except Exception:
+        return False
+
+
+class ProgressBar:
+    """Renders the engine progress-hook payload as a one-line bar.
+
+    The hook fires once per completed unit with ``{"unit", "index",
+    "cached", "seconds", "completed", "total"}``; ``completed`` resets
+    per batch, which the bar detects to restart its cached-unit count.
+    Redraws are rate-limited to ``min_interval`` seconds (the final
+    unit of a batch always draws).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        width: int = 28,
+        min_interval: float = 0.1,
+    ):
+        self.stream = sys.stderr if stream is None else stream
+        self.width = width
+        self.min_interval = min_interval
+        self._t0 = time.perf_counter()
+        self._last_draw = 0.0
+        self._last_completed = 0
+        self._cached = 0
+        self._open = False
+
+    @classmethod
+    def if_tty(
+        cls, stream: Optional[TextIO] = None, **kwargs
+    ) -> Optional["ProgressBar"]:
+        """A bar when the stream is an interactive TTY, else ``None``."""
+        stream = sys.stderr if stream is None else stream
+        return cls(stream, **kwargs) if is_tty(stream) else None
+
+    def __call__(self, info: dict[str, Any]) -> None:
+        completed = info["completed"]
+        total = info["total"]
+        if completed <= self._last_completed:  # new engine batch
+            self._cached = 0
+            self._t0 = time.perf_counter()
+        self._last_completed = completed
+        if info.get("cached"):
+            self._cached += 1
+        now = time.perf_counter()
+        if completed < total and now - self._last_draw < self.min_interval:
+            return
+        self._last_draw = now
+        filled = int(self.width * completed / total) if total else self.width
+        bar = "#" * filled + "." * (self.width - filled)
+        line = (
+            f"\r[{bar}] {completed}/{total} units"
+            f" · {self._cached} cached · {now - self._t0:.1f}s"
+        )
+        self.stream.write(f"{line:<79}")
+        self.stream.flush()
+        self._open = True
+
+    def finish(self) -> None:
+        """Erase the bar so subsequent output starts on a clean line."""
+        if self._open:
+            self.stream.write("\r" + " " * 79 + "\r")
+            self.stream.flush()
+            self._open = False

@@ -71,6 +71,9 @@ class SimulationResult:
     port_busy: dict[str, float]
     instructions_retired: int
     trace: list[TraceEvent] = None  # type: ignore[assignment]
+    #: per-cause stall attribution in cycles, populated when the run
+    #: collects stats (``collect_stalls=True`` or an enabled tracer)
+    stall_cycles: Optional[dict[str, float]] = None
 
     @property
     def ipc(self) -> float:
@@ -201,6 +204,9 @@ class CoreSimulator:
         iterations: int = 200,
         warmup: int = 50,
         trace_iterations: int = 0,
+        *,
+        tracer=None,
+        collect_stalls: bool = False,
     ) -> SimulationResult:
         """Execute ``warmup + iterations`` iterations; measure the tail.
 
@@ -209,6 +215,14 @@ class CoreSimulator:
         With ``trace_iterations > 0``, per-instance timing events for
         the first iterations are collected (the llvm-mca-style
         timeline; see :mod:`repro.simulator.timeline`).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records every dynamic
+        instruction as Chrome trace events: dispatch slots on the
+        frontend lane, µop slices on per-port lanes, retire instants,
+        and cause-attributed stall events.  ``collect_stalls`` fills
+        :attr:`SimulationResult.stall_cycles` without tracing.  Both
+        default off and then cost nothing — the hot loop only tests
+        two hoisted booleans.
         """
         if iterations < 1:
             raise ValueError("need at least one measured iteration")
@@ -259,6 +273,27 @@ class CoreSimulator:
 
         fused_with_next = self._macro_fusion(instructions)
 
+        # Observability is opt-in and hoisted: with both flags off the
+        # loop below pays only two local boolean tests per instruction.
+        tracing = tracer is not None and getattr(tracer, "enabled", False)
+        collect = collect_stalls or tracing
+        stalls: Optional[dict[str, float]] = None
+        if collect:
+            stalls = {
+                "rob": 0.0, "dependency.reg": 0.0, "dependency.mem": 0.0,
+                "port": 0.0, "divider": 0.0, "special": 0.0,
+                "branch": 0.0, "retire": 0.0,
+            }
+        if tracing:
+            from ..obs.trace import (
+                PID_SIM,
+                TID_FRONTEND,
+                TID_RETIRE,
+                TID_STALL,
+            )
+
+            port_tid = tracer.sim_lanes(self.model.ports)
+
         mark_cycle = 0.0
         idx_global = 0
         trace: list[TraceEvent] = []
@@ -268,13 +303,23 @@ class CoreSimulator:
                 r = resolved[j]
 
                 # -- frontend: fused-domain dispatch slots
-                if not (j > 0 and fused_with_next[j - 1]):
+                slot_consumed = j == 0 or not fused_with_next[j - 1]
+                if slot_consumed:
                     frontend_time += dispatch_step
                 dispatch = frontend_time
 
                 # -- ROB backpressure: the slot of the instruction
                 # rob_size back must have retired
                 if len(rob_retire) == rob_size:
+                    if collect and rob_retire[0] > dispatch:
+                        stalls["rob"] += rob_retire[0] - dispatch
+                        if tracing:
+                            tracer.instant(
+                                "stall:rob", dispatch, PID_SIM, TID_STALL,
+                                cat="stall",
+                                args={"cycles": rob_retire[0] - dispatch,
+                                      "i": j},
+                            )
                     dispatch = max(dispatch, rob_retire[0])
                     frontend_time = max(frontend_time, dispatch)
 
@@ -285,6 +330,26 @@ class CoreSimulator:
                 for key, variant in mem_reads_of[j]:
                     k = (key, it) if variant else key
                     ready = max(ready, mem_ready.get(k, 0.0))
+                if collect and ready > dispatch:
+                    # attribute the wait: register bound first, any rest
+                    # is memory (store-forwarding) dependences
+                    reg_t = dispatch
+                    for root in reads[j]:
+                        rr = reg_ready.get(root, 0.0)
+                        if rr > reg_t:
+                            reg_t = rr
+                    if reg_t > dispatch:
+                        stalls["dependency.reg"] += reg_t - dispatch
+                    if ready > reg_t:
+                        stalls["dependency.mem"] += ready - reg_t
+                    if tracing:
+                        tracer.instant(
+                            "stall:dependency", dispatch, PID_SIM, TID_STALL,
+                            cat="stall",
+                            args={"cycles": ready - dispatch,
+                                  "registers": reg_t - dispatch,
+                                  "memory": ready - reg_t, "i": j},
+                        )
 
                 # -- issue µops greedily (plus split-load replays)
                 finish_exec = ready
@@ -297,12 +362,25 @@ class CoreSimulator:
                         _Uop(ports=self.model.load_ports, cycles=extra),
                     )
                 for u in uop_list:
-                    start, chosen = issue_unit.issue(
-                        u.ports, ready, u.cycles * occupancy_scale
-                    )
+                    dur = u.cycles * occupancy_scale
+                    start, chosen = issue_unit.issue(u.ports, ready, dur)
                     port_busy[chosen] += u.cycles
                     finish_exec = max(finish_exec, start)
+                    if tracing and dur > 0:
+                        tracer.complete(
+                            ins.mnemonic, start, dur, PID_SIM,
+                            port_tid[chosen], cat="uop",
+                            args={"iter": it, "i": j},
+                        )
                 issue_unit.advance(dispatch)
+                if collect and finish_exec > ready:
+                    stalls["port"] += finish_exec - ready
+                    if tracing:
+                        tracer.instant(
+                            "stall:port", ready, PID_SIM, TID_STALL,
+                            cat="stall",
+                            args={"cycles": finish_exec - ready, "i": j},
+                        )
 
                 divider = r.divider
                 if divider:
@@ -312,17 +390,29 @@ class CoreSimulator:
                     if override is not None:
                         divider = override
                     start = max(divider_free, ready)
+                    if collect and start > ready:
+                        stalls["divider"] += start - ready
+                        if tracing:
+                            tracer.instant(
+                                "stall:divider", ready, PID_SIM, TID_STALL,
+                                cat="stall",
+                                args={"cycles": start - ready, "i": j},
+                            )
                     divider_free = start + divider
                     finish_exec = max(finish_exec, start)
 
                 if r.throughput is not None:
                     key2 = ins.mnemonic
                     start = max(special_free.get(key2, 0.0), ready)
+                    if collect and start > ready:
+                        stalls["special"] += start - ready
                     special_free[key2] = start + r.throughput
                     finish_exec = max(finish_exec, start)
 
                 if ins.is_branch:
                     start = max(finish_exec, last_branch + self.taken_branch_interval)
+                    if collect and start > finish_exec:
+                        stalls["branch"] += start - finish_exec
                     last_branch = start
                     finish_exec = start
 
@@ -332,8 +422,25 @@ class CoreSimulator:
 
                 # -- retire in order
                 retire = max(complete, retire_time_prev + retire_step)
+                if collect and retire > complete:
+                    stalls["retire"] += retire - complete
                 retire_time_prev = retire
                 rob_retire.append(retire)
+
+                if tracing:
+                    if slot_consumed:
+                        tracer.complete(
+                            ins.mnemonic, dispatch, dispatch_step, PID_SIM,
+                            TID_FRONTEND, cat="dispatch",
+                            args={"iter": it, "i": j},
+                        )
+                    tracer.instant(
+                        ins.mnemonic, retire, PID_SIM, TID_RETIRE,
+                        cat="retire",
+                        args={"iter": it, "i": j, "dispatch": dispatch,
+                              "exec": finish_exec, "complete": complete,
+                              "retire": retire},
+                    )
 
                 if it < trace_iterations:
                     trace.append(
@@ -370,6 +477,7 @@ class CoreSimulator:
             port_busy=port_busy,
             instructions_retired=total_iters * n_body,
             trace=trace,
+            stall_cycles=stalls,
         )
 
     # ------------------------------------------------------------------
@@ -498,14 +606,24 @@ def simulate_kernel(
     *,
     iterations: int = 200,
     warmup: int = 50,
+    tracer=None,
+    collect_stalls: bool = False,
     **kwargs,
 ) -> SimulationResult:
     """Parse and simulate an assembly loop body.
 
     The returned :attr:`SimulationResult.cycles_per_iteration` plays the
-    role of the paper's hardware measurement.
+    role of the paper's hardware measurement.  ``tracer`` /
+    ``collect_stalls`` forward to :meth:`CoreSimulator.run` for pipeline
+    tracing and stall attribution (see :mod:`repro.obs`).
     """
     model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
     instructions = parse_kernel(source, model.isa)
     sim = CoreSimulator(model, **kwargs)
-    return sim.run(instructions, iterations=iterations, warmup=warmup)
+    return sim.run(
+        instructions,
+        iterations=iterations,
+        warmup=warmup,
+        tracer=tracer,
+        collect_stalls=collect_stalls,
+    )

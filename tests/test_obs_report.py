@@ -1,0 +1,258 @@
+"""Run-report manifests and the repro-report differ: manifest
+construction, diff semantics, CLI exit codes, and the committed
+baseline that serves as the CI regression gate."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import bench_main, report_main
+from repro.obs.report import (
+    SCHEMA,
+    Finding,
+    benchmark_stats,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    write_manifest,
+)
+
+GOLDEN_BASELINE = (
+    pathlib.Path(__file__).parent / "golden" / "run_report_baseline.json"
+)
+
+
+def manifest(benchmarks, wall=5.0, **overrides):
+    m = build_manifest(
+        command="repro-bench test",
+        config={"jobs": 1},
+        benchmarks=benchmarks,
+        wall_seconds=wall,
+        cpu_seconds=wall,
+    )
+    m.update(overrides)
+    return m
+
+
+def bench(seconds=2.0, status="ok", **stats):
+    return {"status": status, "seconds": seconds, "stats": stats}
+
+
+class TestManifestShape:
+    def test_build_has_required_sections(self):
+        m = manifest({"fig2": bench(mape=0.1)})
+        for key in ("schema", "created_unix", "command", "engine_version",
+                    "config", "machine_models", "timing", "benchmarks",
+                    "failures"):
+            assert key in m
+        assert m["schema"] == SCHEMA
+        assert m["machine_models"], "model digests must be collected"
+        json.dumps(m)
+
+    def test_write_load_roundtrip(self, tmp_path):
+        m = manifest({"fig2": bench()})
+        path = tmp_path / "r.json"
+        write_manifest(m, path)
+        assert load_manifest(path) == json.loads(json.dumps(m))
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "something-else/9"}')
+        with pytest.raises(ValueError, match="schema"):
+            load_manifest(path)
+
+    def test_benchmark_stats_prefers_module_hook(self):
+        from repro.bench import EXPERIMENTS, fig2
+
+        result = EXPERIMENTS["fig2"].run()
+        stats = benchmark_stats("fig2", result)
+        assert stats == fig2.manifest_stats(result)
+        assert "full_socket_mape" in stats
+
+    def test_benchmark_stats_digest_fallback(self):
+        stats = benchmark_stats("table2", {"some": "result"})
+        assert set(stats) == {"result_digest"}
+        # deterministic
+        assert stats == benchmark_stats("table2", {"some": "result"})
+        assert stats != benchmark_stats("table2", {"some": "other"})
+
+
+class TestDiffSemantics:
+    def test_identical_manifests_ok(self):
+        m = manifest({"fig2": bench(mape=0.10, series=9)})
+        diff = diff_manifests(m, copy.deepcopy(m))
+        assert diff.ok
+        assert diff.compared_metrics > 0
+        assert "OK: no regressions" in diff.render()
+
+    def test_worsened_error_metric_regresses(self):
+        base = manifest({"fig3": bench(global_rpe=0.20)})
+        cur = manifest({"fig3": bench(global_rpe=0.30)})
+        diff = diff_manifests(base, cur)
+        assert not diff.ok
+        [f] = diff.regressions
+        assert f.metric == "global_rpe"
+        assert "FAIL: 1 regression(s)" in diff.render()
+
+    def test_improved_error_metric_is_improvement(self):
+        base = manifest({"fig3": bench(global_rpe=0.30)})
+        cur = manifest({"fig3": bench(global_rpe=0.20)})
+        diff = diff_manifests(base, cur)
+        assert diff.ok
+        assert [f.severity for f in diff.findings
+                if f.metric == "global_rpe"] == ["improvement"]
+
+    def test_higher_is_better_direction(self):
+        base = manifest({"t": bench(right_side_fraction=0.9)})
+        cur = manifest({"t": bench(right_side_fraction=0.7)})
+        assert not diff_manifests(base, cur).ok
+        # and the reverse improves
+        assert diff_manifests(cur, base).ok
+
+    def test_unknown_metric_change_not_regression(self):
+        base = manifest({"t": bench(tests=100)})
+        cur = manifest({"t": bench(tests=90)})
+        diff = diff_manifests(base, cur)
+        assert diff.ok
+        assert [f.severity for f in diff.findings
+                if f.metric == "tests"] == ["change"]
+
+    def test_tiny_delta_within_tolerance_ignored(self):
+        base = manifest({"t": bench(mape=0.1)})
+        cur = manifest({"t": bench(mape=0.1 + 1e-9)})
+        assert diff_manifests(base, cur).findings == []
+
+    def test_nested_stats_flattened(self):
+        base = manifest({"t": bench(per_arch={"zen4": {"rpe": 0.1}})})
+        cur = manifest({"t": bench(per_arch={"zen4": {"rpe": 0.4}})})
+        [f] = diff_manifests(base, cur).regressions
+        assert f.metric == "per_arch.zen4.rpe"
+
+    def test_runtime_floor_suppresses_noise(self):
+        base = manifest({"t": bench(seconds=0.01)})
+        cur = manifest({"t": bench(seconds=0.09)})  # 9x but sub-second
+        assert diff_manifests(base, cur).ok
+
+    def test_runtime_regression_above_floor(self):
+        base = manifest({"t": bench(seconds=10.0)})
+        cur = manifest({"t": bench(seconds=20.0)})
+        [f] = diff_manifests(base, cur).regressions
+        assert f.metric == "seconds"
+
+    def test_runtime_within_tolerance_ok(self):
+        base = manifest({"t": bench(seconds=10.0)})
+        cur = manifest({"t": bench(seconds=12.0)})  # +20% < default 25%
+        assert diff_manifests(base, cur).ok
+
+    def test_missing_benchmark_regresses(self):
+        base = manifest({"a": bench(), "b": bench()})
+        cur = manifest({"a": bench()})
+        [f] = diff_manifests(base, cur).regressions
+        assert f.benchmark == "b" and f.metric == "presence"
+
+    def test_new_benchmark_is_note(self):
+        base = manifest({"a": bench()})
+        cur = manifest({"a": bench(), "b": bench()})
+        diff = diff_manifests(base, cur)
+        assert diff.ok
+        assert [f.severity for f in diff.findings] == ["note"]
+
+    def test_status_error_regresses(self):
+        base = manifest({"a": bench()})
+        cur = manifest({"a": {"status": "error", "seconds": 0.1,
+                              "error": "boom"}})
+        [f] = diff_manifests(base, cur).regressions
+        assert f.metric == "status"
+
+    def test_whole_run_wall_time(self):
+        base = manifest({"a": bench()}, wall=10.0)
+        cur = manifest({"a": bench()}, wall=20.0)
+        [f] = diff_manifests(base, cur).regressions
+        assert f.benchmark == "(run)" and f.metric == "wall_seconds"
+
+    def test_model_digest_drift_is_change(self):
+        base = manifest({"a": bench()})
+        cur = copy.deepcopy(base)
+        model = next(iter(cur["machine_models"]))
+        cur["machine_models"][model] = "0" * 16
+        diff = diff_manifests(base, cur)
+        assert diff.ok  # a change, not a regression
+        assert any(
+            f.benchmark == "(models)" and f.metric == model
+            for f in diff.findings
+        )
+
+    def test_finding_render_formats_floats(self):
+        f = Finding("regression", "fig3", "rpe", 0.2, 0.3, "worse")
+        assert f.render() == "fig3/rpe: 0.2 -> 0.3 (worse)"
+
+
+class TestReportCli:
+    def run_report(self, tmp_path, name):
+        path = tmp_path / name
+        assert bench_main(["fig2", "--run-report", str(path)]) == 0
+        return path
+
+    def test_same_run_twice_no_regressions(self, tmp_path, capsys):
+        r1 = self.run_report(tmp_path, "r1.json")
+        r2 = self.run_report(tmp_path, "r2.json")
+        assert report_main([str(r1), str(r2), "--check"]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_check_fails_on_tampered_accuracy(self, tmp_path, capsys):
+        r1 = self.run_report(tmp_path, "r1.json")
+        r2 = tmp_path / "r2.json"
+        m = load_manifest(r1)
+        m["benchmarks"]["fig2"]["stats"]["full_socket_mape"] += 0.5
+        write_manifest(m, r2)
+        assert report_main([str(r1), str(r2), "--check"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # without --check the diff is informational: exit 0
+        assert report_main([str(r1), str(r2)]) == 0
+
+    def test_json_output(self, tmp_path):
+        r1 = self.run_report(tmp_path, "r1.json")
+        out = tmp_path / "diff.json"
+        report_main([str(r1), str(r1), "--json", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+
+    def test_unreadable_manifest_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert report_main([str(bad), str(bad)]) == 2
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_run_report_written_on_benchmark_error(self, tmp_path, capsys):
+        # unknown experiment names abort before any run; a failing
+        # experiment mid-run must still produce a manifest
+        import repro.bench as bench_pkg
+
+        path = tmp_path / "r.json"
+        orig = bench_pkg.EXPERIMENTS["fig2"].run
+        bench_pkg.EXPERIMENTS["fig2"].run = lambda: 1 / 0
+        try:
+            assert bench_main(["fig2", "--run-report", str(path)]) == 1
+        finally:
+            bench_pkg.EXPERIMENTS["fig2"].run = orig
+        m = load_manifest(path)
+        assert m["benchmarks"]["fig2"]["status"] == "error"
+        assert m["failures"] == ["fig2"]
+
+
+class TestCommittedBaseline:
+    """tests/golden/run_report_baseline.json is the CI gate: a fresh
+    fig2 run diffed against it must show zero regressions."""
+
+    def test_baseline_gate_passes(self, tmp_path):
+        current = tmp_path / "current.json"
+        assert bench_main(["fig2", "--run-report", str(current)]) == 0
+        rc = report_main([str(GOLDEN_BASELINE), str(current), "--check"])
+        assert rc == 0, (
+            "fresh fig2 run regressed against the committed baseline "
+            "manifest; regenerate tests/golden/run_report_baseline.json "
+            "only if the model change is intentional"
+        )
