@@ -5,17 +5,26 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast bench report verify all-figures trace-demo clean
+.PHONY: install lint test test-fast bench report verify all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
+
+# ruff (config in pyproject.toml); skipped with a notice when the tool
+# is not installed, so a bare container can still run the test targets
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/ tests/ benchmarks/; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
 
 # everything, including @pytest.mark.slow full-corpus sweeps
 test:
 	$(PY) -m pytest tests/ -m ""
 
-# the default developer loop: slow-marked sweeps deselected
-test-fast:
+# the default developer loop: lint + slow-marked sweeps deselected
+test-fast: lint
 	$(PY) -m pytest tests/ -m "not slow"
 
 bench:

@@ -26,9 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..isa import parse_kernel
 from ..isa.instruction import Instruction
-from ..machine import MachineModel, get_machine_model
+from ..machine import MachineModel
 from ..machine.model import ResolvedInstruction
 from .depgraph import DependencyGraph, build_dependency_graph
 from .portbinding import (
@@ -122,9 +121,19 @@ def analyze_instructions(
     *,
     optimal_binding: bool = True,
     respect_merge_dependency: bool = True,
+    resolved: Optional[Sequence[ResolvedInstruction]] = None,
 ) -> AnalysisResult:
-    """Analyze a parsed loop body against a machine model."""
-    resolved = [model.resolve(i) for i in instructions]
+    """Analyze a parsed loop body against a machine model.
+
+    ``resolved`` accepts pre-resolved instructions (from a
+    :class:`~repro.lowering.LoweredBlock`) so callers that already ran
+    the lowering pipeline never resolve twice.
+    """
+    resolved = (
+        [model.resolve(i) for i in instructions]
+        if resolved is None
+        else list(resolved)
+    )
 
     pressure = (
         assign_ports_optimal(model, resolved)
@@ -188,11 +197,13 @@ def analyze_kernel(
         Keep RMW dependencies on merging-predicated SVE destinations
         (the static-model default; hardware may rename them away).
     """
-    model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
-    instructions = parse_kernel(source, model.isa)
+    from ..lowering import lower
+
+    block = lower(source, arch)
     return analyze_instructions(
-        instructions,
-        model,
+        block.instructions,
+        block.model,
         optimal_binding=optimal_binding,
         respect_merge_dependency=respect_merge_dependency,
+        resolved=block.resolved,
     )

@@ -27,9 +27,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..isa import parse_kernel
 from ..isa.instruction import Instruction
-from ..machine import MachineModel, get_machine_model
+from ..machine import MachineModel, coerce_model
 from ..simulator.core import CoreSimulator
 
 
@@ -92,9 +91,13 @@ def analyze_topdown(
     iterations: int = 100,
 ) -> TopdownReport:
     """Attribute a loop body's cycles by counterfactual simulation."""
-    model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
+    model = coerce_model(arch)
     if isinstance(source_or_instrs, str):
-        instrs = parse_kernel(source_or_instrs, model.isa)
+        # Counterfactual runs perturb the model, so only the parsed
+        # (not resolved) form of the lowered block is reusable here.
+        from ..lowering import lower
+
+        instrs = list(lower(source_or_instrs, model).instructions)
     else:
         instrs = list(source_or_instrs)
 

@@ -1,0 +1,88 @@
+"""``repro.backends`` — pluggable prediction backends over one front-end.
+
+The lowering pipeline (:mod:`repro.lowering`) parses and resolves an
+assembly block once; every registered backend then predicts from the
+same :class:`~repro.lowering.LoweredBlock`::
+
+    from repro.backends import get_backend, predict
+    from repro.lowering import lower
+
+    block = lower(asm_text, "zen4")
+    r = get_backend("model").predict(block)          # explicit
+    r = predict(asm_text, "zen4", backend="mca")     # convenience
+    table = predict_all(asm_text, "zen4")            # all three views
+
+Writing a new backend is one registered class — see
+``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from .base import (
+    KIND_BACKENDS,
+    Backend,
+    BackendResult,
+    available_backends,
+    backend_version,
+    get_backend,
+    register_backend,
+    unit_backends,
+    unregister_backend,
+    versions_for_unit,
+)
+from . import builtin as _builtin  # noqa: F401  (registers model/mca/sim)
+
+
+def predict(
+    source: str,
+    arch,
+    *,
+    backend: str = "model",
+    **opts: Any,
+) -> BackendResult:
+    """Lower *source* against *arch* and run one backend."""
+    from ..lowering import lower
+
+    return get_backend(backend).predict(lower(source, arch), **opts)
+
+
+def predict_all(
+    source: str,
+    arch,
+    *,
+    backends: Optional[Sequence[str]] = None,
+    opts: Optional[dict[str, dict[str, Any]]] = None,
+) -> dict[str, BackendResult]:
+    """Run several backends over one lowered block, side by side.
+
+    ``opts`` maps backend name → keyword options for its ``predict``.
+    Backends run in the given order (default: every registered backend,
+    alphabetically) but share a single lowering.
+    """
+    from ..lowering import lower
+
+    names = list(backends) if backends is not None else available_backends()
+    block = lower(source, arch)
+    per = opts or {}
+    return {
+        name: get_backend(name).predict(block, **per.get(name, {}))
+        for name in names
+    }
+
+
+__all__ = [
+    "KIND_BACKENDS",
+    "Backend",
+    "BackendResult",
+    "available_backends",
+    "backend_version",
+    "get_backend",
+    "predict",
+    "predict_all",
+    "register_backend",
+    "unit_backends",
+    "unregister_backend",
+    "versions_for_unit",
+]

@@ -7,7 +7,7 @@ diagram can never drift from the data the analyzer actually uses.
 
 from __future__ import annotations
 
-from ..machine import get_machine_model
+from ..machine import coerce_model, get_machine_model
 from ..machine.model import MachineModel
 
 _PORT_DESCRIPTIONS = {
@@ -43,8 +43,7 @@ _PORT_DESCRIPTIONS = {
 
 
 def render(model: MachineModel | str | None = None) -> str:
-    if not isinstance(model, MachineModel):
-        model = get_machine_model(model or "neoverse_v2")
+    model = coerce_model(model or "neoverse_v2")
     desc = _PORT_DESCRIPTIONS.get(model.name, {})
     lines = [
         f"Fig. 1 — {model.name} port model ({len(model.ports)} ports)",

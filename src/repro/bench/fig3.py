@@ -42,19 +42,29 @@ PAPER_REFERENCE = {
 }
 
 
+#: every prediction backend of the Fig. 3 comparison, in display order
+ALL_BACKENDS = ("model", "sim", "mca")
+
+
 @dataclass
 class Fig3Record:
     entry: CorpusEntry
     measurement: float
-    prediction_osaca: float
-    prediction_mca: float
+    #: either prediction is ``None`` when its backend was subset away
+    #: (``repro-bench fig3 --backends ...``)
+    prediction_osaca: float | None = None
+    prediction_mca: float | None = None
 
     @property
-    def rpe_osaca(self) -> float:
+    def rpe_osaca(self) -> float | None:
+        if self.prediction_osaca is None:
+            return None
         return (self.measurement - self.prediction_osaca) / self.measurement
 
     @property
-    def rpe_mca(self) -> float:
+    def rpe_mca(self) -> float | None:
+        if self.prediction_mca is None:
+            return None
         return (self.measurement - self.prediction_mca) / self.measurement
 
 
@@ -63,11 +73,22 @@ class Fig3Result:
     records: list[Fig3Record]
     unique_assembly: int
 
+    def which_available(self) -> list[str]:
+        """Prediction kinds present in the records (full run: both)."""
+        return [
+            w
+            for w in ("osaca", "mca")
+            if any(getattr(r, f"rpe_{w}") is not None for r in self.records)
+        ]
+
     def _arr(self, which: str) -> np.ndarray:
-        return np.array([getattr(r, f"rpe_{which}") for r in self.records])
+        vals = [getattr(r, f"rpe_{which}") for r in self.records]
+        return np.array([v for v in vals if v is not None])
 
     def summary(self, which: str) -> dict:
         x = self._arr(which)
+        if x.size == 0:
+            return {"tests": 0}
         right = x >= -1e-9
         return {
             "tests": int(x.size),
@@ -82,10 +103,15 @@ class Fig3Result:
     def per_arch_summary(self, which: str) -> dict[str, dict]:
         out = {}
         for uarch in ("golden_cove", "zen4", "neoverse_v2"):
-            sel = [r for r in self.records if r.entry.uarch == uarch]
+            sel = [
+                getattr(r, f"rpe_{which}")
+                for r in self.records
+                if r.entry.uarch == uarch
+                and getattr(r, f"rpe_{which}") is not None
+            ]
             if not sel:
                 continue
-            x = np.array([getattr(r, f"rpe_{which}") for r in sel])
+            x = np.array(sel)
             right = x >= -1e-9
             out[uarch] = {
                 "avg_right_rpe": float(np.mean(x[right])) if right.any() else 0.0,
@@ -97,7 +123,8 @@ class Fig3Result:
         return [
             r.entry.test_id
             for r in self.records
-            if getattr(r, f"rpe_{which}") < -1e-9
+            if getattr(r, f"rpe_{which}") is not None
+            and getattr(r, f"rpe_{which}") < -1e-9
         ]
 
     def stratified(self, by: str, which: str = "osaca") -> dict[str, dict]:
@@ -108,9 +135,9 @@ class Fig3Result:
         """
         groups: dict[str, list[float]] = {}
         for r in self.records:
-            groups.setdefault(getattr(r.entry, by), []).append(
-                getattr(r, f"rpe_{which}")
-            )
+            rpe = getattr(r, f"rpe_{which}")
+            if rpe is not None:
+                groups.setdefault(getattr(r.entry, by), []).append(rpe)
         out = {}
         for key, vals in sorted(groups.items()):
             x = np.array(vals)
@@ -131,22 +158,58 @@ def manifest_stats(result: Fig3Result) -> dict:
     ``right_side*``/``within_*`` higher-is-better) so ``repro-report``
     can classify deltas as regressions or improvements.
     """
-    return {
+    stats = {
         "tests": len(result.records),
         "unique_assembly": result.unique_assembly,
-        "osaca": result.summary("osaca"),
-        "mca": result.summary("mca"),
         "per_arch_global_rpe": {
             uarch: s["global_rpe"]
             for uarch, s in result.per_arch_summary("osaca").items()
         },
     }
+    for which in result.which_available():
+        stats[which] = result.summary(which)
+    return stats
+
+
+def _normalize_backends(
+    backends: tuple[str, ...] | list[str] | None,
+) -> tuple[str, ...] | None:
+    """Validate and canonicalize a ``--backends`` subset (None = all).
+
+    The core-simulator measurement is the denominator of every RPE, so
+    ``sim`` cannot be subset away.
+    """
+    if backends is None:
+        return None
+    names = tuple(sorted(set(backends)))
+    unknown = [b for b in names if b not in ALL_BACKENDS]
+    if unknown:
+        raise ValueError(
+            f"unknown fig3 backend(s) {unknown}; known: {list(ALL_BACKENDS)}"
+        )
+    if "sim" not in names:
+        raise ValueError(
+            "fig3 needs the 'sim' backend (the measurement every RPE is "
+            "computed against)"
+        )
+    if set(names) == set(ALL_BACKENDS):
+        return None
+    return names
 
 
 def corpus_units(
-    corpus: list[CorpusEntry], iterations: int = 100
+    corpus: list[CorpusEntry],
+    iterations: int = 100,
+    backends: tuple[str, ...] | None = None,
 ) -> list[WorkUnit]:
-    """The corpus as engine work units (one per test block)."""
+    """The corpus as engine work units (one per test block).
+
+    ``backends`` subsets the per-block fan-out; the parameter is only
+    included in the unit (and thus the cache key) when it actually
+    deviates from the full default, so full runs keep their cache slots.
+    """
+    backends = _normalize_backends(backends)
+    extra = {} if backends is None else {"backends": list(backends)}
     return [
         WorkUnit.make(
             "corpus",
@@ -154,6 +217,7 @@ def corpus_units(
             uarch=e.uarch,
             assembly=e.assembly,
             iterations=iterations,
+            **extra,
         )
         for e in corpus
     ]
@@ -165,6 +229,7 @@ def run(
     iterations: int = 100,
     precision: str = "dp",
     *,
+    backends: tuple[str, ...] | None = None,
     engine: CorpusEngine | None = None,
     jobs: int | None = None,
     cache: str | None = None,
@@ -173,24 +238,33 @@ def run(
         machines=machines, kernels=kernels, precision=precision
     )
     eng = resolve_engine(engine, jobs, cache)
-    outputs = eng.run(corpus_units(corpus, iterations))
+    outputs = eng.run(corpus_units(corpus, iterations, backends))
     records = [
         Fig3Record(
             entry=e,
             measurement=out["measurement"],
-            prediction_osaca=out["prediction_osaca"],
-            prediction_mca=out["prediction_mca"],
+            prediction_osaca=out.get("prediction_osaca"),
+            prediction_mca=out.get("prediction_mca"),
         )
         for e, out in zip(corpus, outputs)
     ]
     return Fig3Result(records=records, unique_assembly=unique_assembly_count(corpus))
 
 
+_LABELS = {"osaca": "our model (OSACA-style)", "mca": "LLVM-MCA baseline"}
+
+
 def render(result: Fig3Result | None = None) -> str:
     result = result or run()
     blocks = []
-    for which, label in (("osaca", "our model (OSACA-style)"), ("mca", "LLVM-MCA baseline")):
-        values = [getattr(r, f"rpe_{which}") for r in result.records]
+    available = result.which_available()
+    for which in available:
+        label = _LABELS[which]
+        values = [
+            v
+            for r in result.records
+            if (v := getattr(r, f"rpe_{which}")) is not None
+        ]
         blocks.append(ascii_histogram(
             values,
             title=f"Fig. 3 — relative prediction error, {label} "
@@ -214,16 +288,17 @@ def render(result: Fig3Result | None = None) -> str:
         f"corpus: {len(result.records)} tests, {result.unique_assembly} unique "
         f"assembly representations (paper: 416 / 290)"
     )
-    blocks.append("")
-    blocks.append("per-kernel mean |RPE| (our model):")
-    for kernel, s in result.stratified("kernel").items():
-        blocks.append(
-            f"  {kernel:10s} n={s['n']:3d}  |RPE|={s['mean_abs_rpe']*100:5.1f}%  "
-            f"right-side={s['right_side_fraction']*100:3.0f}%"
-        )
-    left = result.left_side_tests("osaca")
-    if left:
-        blocks.append("our-model over-predictions (left of zero):")
-        for t in sorted(set(left)):
-            blocks.append(f"  {t}")
+    if "osaca" in available:
+        blocks.append("")
+        blocks.append("per-kernel mean |RPE| (our model):")
+        for kernel, s in result.stratified("kernel").items():
+            blocks.append(
+                f"  {kernel:10s} n={s['n']:3d}  |RPE|={s['mean_abs_rpe']*100:5.1f}%  "
+                f"right-side={s['right_side_fraction']*100:3.0f}%"
+            )
+        left = result.left_side_tests("osaca")
+        if left:
+            blocks.append("our-model over-predictions (left of zero):")
+            for t in sorted(set(left)):
+                blocks.append(f"  {t}")
     return "\n".join(blocks)

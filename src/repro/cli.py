@@ -5,7 +5,12 @@
 
         repro-analyze loop.s --arch zen4
         repro-analyze loop.s --arch grace --compare   # + simulator + MCA
+        repro-analyze loop.s --arch spr --backend all # side-by-side table
         repro-analyze loop.s --arch genoa --trace t.json  # pipeline trace
+
+    ``--backend model|mca|sim|all`` selects the prediction backend from
+    the registry (:mod:`repro.backends`); ``all`` runs every backend
+    over one shared lowering and prints a side-by-side table.
 
     ``--trace PATH`` runs the core simulator with the
     :mod:`repro.obs` tracer attached and writes a Chrome trace-event
@@ -19,6 +24,7 @@
         repro-bench table3
         repro-bench fig4
         repro-bench all --jobs 4 --cache .repro-cache
+        repro-bench fig3 --backends model,sim
         repro-bench fig3 --run-report r.json --trace engine.json
 
     ``--jobs N`` shards the corpus work across N worker processes;
@@ -60,6 +66,15 @@ def analyze_main(argv: list[str] | None = None) -> int:
         required=True,
         help=f"machine model or chip alias ({', '.join(available_models())}, "
              "spr, genoa, grace, ...)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("model", "mca", "sim", "all"),
+        default="model",
+        help="prediction backend to run: the OSACA-style static model "
+             "(default, full bottleneck report), the MCA baseline, the "
+             "cycle-level core simulator, or 'all' for a side-by-side "
+             "table over one shared lowering",
     )
     parser.add_argument(
         "--heuristic",
@@ -105,6 +120,10 @@ def analyze_main(argv: list[str] | None = None) -> int:
                 f"{extracted.end_line} via {extracted.method}]"
             )
         source = extracted.source
+
+    if args.backend != "model":
+        return _analyze_backends(source, args)
+
     result = analyze_kernel(source, args.arch, optimal_binding=not args.heuristic)
     print(result.report())
 
@@ -166,6 +185,48 @@ def analyze_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _analyze_backends(source: str, args) -> int:
+    """``repro-analyze --backend mca|sim|all`` — registry dispatch paths.
+
+    All backends predict from one shared lowering of the block
+    (:mod:`repro.lowering`), so the comparison can never drift through
+    divergent parsing.
+    """
+    from .backends import predict_all
+
+    names = ["model", "mca", "sim"] if args.backend == "all" else [args.backend]
+    opts = {"model": {"optimal_binding": not args.heuristic}}
+    results = predict_all(source, args.arch, backends=names, opts=opts)
+
+    if args.backend != "all":
+        r = results[args.backend]
+        detail = r.detail
+        if hasattr(detail, "summary"):
+            print(detail.summary())
+        else:
+            print(f"{r.backend} (v{r.version}): "
+                  f"{r.cycles_per_iteration:.2f} cy/iter")
+            for k, v in sorted(r.stats.items()):
+                print(f"  {k}: {v:.4g}" if isinstance(v, float) else f"  {k}: {v}")
+        return 0
+
+    meas = results["sim"].cycles_per_iteration
+    print(f"{'backend':10s} {'cy/iter':>9s}   {'vs sim':>8s}   note")
+    for name in names:
+        r = results[name]
+        if name == "sim":
+            note = "(measurement)"
+            vs = ""
+        else:
+            rpe = (meas - r.cycles_per_iteration) / meas if meas else 0.0
+            vs = f"{rpe*100:+7.1f}%"
+            note = r.bottleneck or ""
+        print(
+            f"{name:10s} {r.cycles_per_iteration:9.2f}   {vs:>8s}   {note}"
+        )
+    return 0
+
+
 def bench_main(argv: list[str] | None = None) -> int:
     import contextlib
     import time
@@ -216,9 +277,26 @@ def bench_main(argv: list[str] | None = None) -> int:
              "digests, per-benchmark accuracy stats, timings); diff two "
              "with repro-report",
     )
+    parser.add_argument(
+        "--backends",
+        metavar="NAMES",
+        help="comma-separated subset of fig3's prediction backends "
+             "(model,mca,sim); 'sim' is always required — it is the "
+             "measurement every RPE is computed against",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    backends: tuple[str, ...] | None = None
+    if args.backends:
+        from .bench.fig3 import _normalize_backends
+
+        try:
+            backends = _normalize_backends(
+                tuple(s.strip() for s in args.backends.split(",") if s.strip())
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
 
     from .obs.progress import ProgressBar
 
@@ -232,6 +310,10 @@ def bench_main(argv: list[str] | None = None) -> int:
     bench_records: dict[str, dict] = {}
     failures: list[str] = []
     wall0, cpu0 = time.perf_counter(), time.process_time()
+    if args.run_report:
+        from .obs.metrics import get_registry
+
+        registry_since = get_registry().snapshot()
     tracer = None
     with contextlib.ExitStack() as stack:
         stack.enter_context(use_engine(engine))
@@ -256,6 +338,13 @@ def bench_main(argv: list[str] | None = None) -> int:
                         f"{summary['passed']}/{summary['total']} acceptance "
                         f"criteria pass ({summary['seconds']:.0f} s)"
                     )
+                elif name == "fig3" and backends is not None:
+                    result = EXPERIMENTS[name].run(backends=backends)
+                    collected[name] = result
+                    if progress is not None:
+                        progress.finish()
+                    print(render_experiment(name, result))
+                    print()
                 elif structured and name in EXPERIMENTS:
                     result = EXPERIMENTS[name].run()
                     collected[name] = result
@@ -312,12 +401,14 @@ def bench_main(argv: list[str] | None = None) -> int:
                 "jobs": args.jobs,
                 "cache": bool(args.cache),
                 "trace": bool(args.trace),
+                "backends": list(backends) if backends else None,
             },
             benchmarks=bench_records,
             wall_seconds=time.perf_counter() - wall0,
             cpu_seconds=time.process_time() - cpu0,
             engine=engine,
             registry=get_registry(),
+            registry_since=registry_since,
             failures=failures,
         )
         write_manifest(manifest, args.run_report)

@@ -10,72 +10,44 @@ The key must change exactly when the *result* could change:
   or table-entry edit reshapes predictions, so the full serialized
   model is digested),
 * the simulation parameters (iteration counts, warmup, scheduling-data
-  overrides), and
+  overrides),
+* the **versions of the prediction backends** the unit dispatches to
+  (:func:`repro.backends.versions_for_unit`) — a backend can change
+  semantics independently of the engine, and its version string is the
+  contract that invalidates its cached results, and
 * :data:`ENGINE_VERSION` — bumped on any semantic change to the
-  evaluators or simulators, so stale caches self-invalidate.
+  evaluators or the key schema itself, so stale caches self-invalidate.
+
+The digest primitives live in :mod:`repro.lowering.digests` so the
+engine cache and the in-process lowering memo share one notion of
+input identity; they are re-exported here for backwards compatibility.
 
 Everything is hashed with SHA-256 over canonical JSON.
 """
 
 from __future__ import annotations
 
-import hashlib
 from typing import Any, Optional
 
+from ..lowering.digests import (  # noqa: F401  (re-exported)
+    canonicalize_assembly,
+    machine_model_digest,
+    sha256_text as _sha256,
+)
 from .units import WorkUnit, canonical_json
 
 #: Bump on any change to evaluator semantics, simulator behaviour, or
 #: the key schema itself.  Old cache entries become unreachable (not
 #: wrong) — the cache is append-only and content-addressed.
-ENGINE_VERSION = "1"
+#:
+#: History: "1" pre-dated the unified lowering pipeline; "2" routes all
+#: evaluators through repro.lowering + the backend registry and digests
+#: backend versions into the key.
+ENGINE_VERSION = "2"
 
 #: parameter names that reference a machine model by name/alias and
 #: must be expanded into a full model digest
 _MODEL_REF_PARAMS = ("uarch", "chip", "arch")
-
-
-def canonicalize_assembly(asm: str) -> str:
-    """Normalize assembly text for hashing.
-
-    Removed: blank lines, whole-line comments (``#``, ``//``, ``;`` —
-    ``#`` only at line start, since AArch64 uses it for immediates),
-    trailing ``//`` comments, and runs of whitespace.  Anything that
-    survives — mnemonics, operands, labels, directives — is semantic
-    and must affect the key.
-    """
-    out: list[str] = []
-    for raw in asm.splitlines():
-        line = raw.strip()
-        if not line or line.startswith(("#", "//", ";")):
-            continue
-        cut = line.find("//")
-        if cut >= 0:
-            line = line[:cut].rstrip()
-            if not line:
-                continue
-        out.append(" ".join(line.split()))
-    return "\n".join(out)
-
-
-def _sha256(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def machine_model_digest(model_or_name: Any) -> str:
-    """Digest of a machine model's full parameter set.
-
-    Accepts a :class:`~repro.machine.model.MachineModel`, a model
-    name/chip alias, or an already-serialized model dict.
-    """
-    from ..machine.io import model_to_dict
-
-    if isinstance(model_or_name, str):
-        from ..machine import get_machine_model
-
-        model_or_name = get_machine_model(model_or_name)
-    if not isinstance(model_or_name, dict):
-        model_or_name = model_to_dict(model_or_name)
-    return _sha256(canonical_json(model_or_name))
 
 
 def cache_key(
@@ -105,7 +77,17 @@ def cache_key(
             keyed[f"{name}_model_digest"] = digest
         else:
             keyed[name] = value
-    payload = canonical_json(
-        {"engine_version": ENGINE_VERSION, "kind": unit.kind, "params": keyed}
-    )
-    return _sha256(payload)
+
+    payload_obj: dict[str, Any] = {
+        "engine_version": ENGINE_VERSION,
+        "kind": unit.kind,
+        "params": keyed,
+    }
+    # Deferred import: backends pull in the registry, which is cheap,
+    # but the engine must stay importable without the analysis layers.
+    from ..backends import versions_for_unit
+
+    backends = versions_for_unit(unit.kind, params)
+    if backends:
+        payload_obj["backends"] = backends
+    return _sha256(canonical_json(payload_obj))

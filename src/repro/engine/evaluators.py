@@ -6,11 +6,21 @@ Imports are deliberately deferred into the function bodies: the bench
 and analysis layers import the engine, so module-level imports here
 would be circular (and workers only pay for what they run).
 
+Every assembly-consuming kind goes through the shared lowering
+pipeline (:mod:`repro.lowering`) and dispatches to registered
+prediction backends (:mod:`repro.backends`): a block is parsed and
+machine-resolved exactly once per ``(assembly, model)`` pair, however
+many backends then fan out over it.
+
 Kinds
 -----
 ``corpus``
     The Fig. 3 triple for one corpus block: core-simulator measurement,
-    OSACA-style prediction, MCA baseline prediction.
+    OSACA-style prediction, MCA baseline prediction — one lowering,
+    three backends (subset with ``params["backends"]``).
+``predict``
+    One named backend over one block (``params["backend"]``); the
+    generic registry-dispatch kind.
 ``analyze_simulate``
     Static prediction + simulated measurement (extended-suite sweeps,
     cross-architecture comparisons).
@@ -34,6 +44,16 @@ from typing import Any, Callable, Dict
 Evaluator = Callable[[dict], Dict[str, Any]]
 
 _EVALUATORS: dict[str, Evaluator] = {}
+
+#: corpus result-dict fields, keyed by the backend that produces them
+CORPUS_FIELDS = {
+    "sim": "measurement",
+    "model": "prediction_osaca",
+    "mca": "prediction_mca",
+}
+
+#: the full corpus backend fan-out, in evaluation order
+CORPUS_BACKENDS = ("model", "sim", "mca")
 
 
 def evaluator(kind: str) -> Callable[[Evaluator], Evaluator]:
@@ -72,47 +92,77 @@ def _model_from_params(p: dict):
     return get_machine_model(p.get("uarch") or p.get("chip") or p["arch"])
 
 
+def _lowered(p: dict):
+    """Lower the unit's assembly against its machine model (memoized)."""
+    from ..lowering import lower
+
+    return lower(p["assembly"], _model_from_params(p))
+
+
+def _corpus_backend_opts(iterations: int) -> dict[str, dict[str, Any]]:
+    """The per-backend options of the Fig. 3 corpus triple.
+
+    These iteration/warmup choices are part of the published corpus
+    semantics (golden-gated); change them only with an engine-version
+    bump.
+    """
+    return {
+        "model": {},
+        "sim": dict(iterations=iterations, warmup=max(10, iterations // 3)),
+        "mca": dict(iterations=max(30, iterations // 2), warmup=15),
+    }
+
+
 @evaluator("corpus")
 def _eval_corpus(p: dict) -> dict[str, Any]:
-    from ..analysis import analyze_instructions
-    from ..isa import parse_kernel
-    from ..mca import MCASimulator
-    from ..simulator.core import CoreSimulator
+    from ..backends import get_backend
 
-    model = _model_from_params(p)
-    instrs = parse_kernel(p["assembly"], model.isa)
-    iters = int(p["iterations"])
-    ana = analyze_instructions(instrs, model)
-    meas = CoreSimulator(model).run(
-        instrs, iterations=iters, warmup=max(10, iters // 3)
-    )
-    mca = MCASimulator(model).run(
-        instrs, iterations=max(30, iters // 2), warmup=15
-    )
-    return {
-        "measurement": meas.cycles_per_iteration,
-        "prediction_osaca": ana.prediction,
-        "prediction_mca": mca.cycles_per_iteration,
-        "bottleneck": ana.bottleneck,
+    block = _lowered(p)
+    opts = _corpus_backend_opts(int(p["iterations"]))
+    names = p.get("backends") or CORPUS_BACKENDS
+    # evaluation order is fixed regardless of the subset's order
+    names = [n for n in CORPUS_BACKENDS if n in names]
+
+    out: dict[str, Any] = {}
+    for name in names:
+        r = get_backend(name).predict(block, **opts[name])
+        out[CORPUS_FIELDS[name]] = r.cycles_per_iteration
+        if name == "model":
+            out["bottleneck"] = r.bottleneck
+    return out
+
+
+@evaluator("predict")
+def _eval_predict(p: dict) -> dict[str, Any]:
+    from ..backends import get_backend
+
+    block = _lowered(p)
+    r = get_backend(p["backend"]).predict(block, **(p.get("opts") or {}))
+    out: dict[str, Any] = {
+        "backend": r.backend,
+        "version": r.version,
+        "cycles_per_iteration": r.cycles_per_iteration,
     }
+    if r.bottleneck is not None:
+        out["bottleneck"] = r.bottleneck
+    if r.stats:
+        out["stats"] = r.stats
+    return out
 
 
 @evaluator("analyze_simulate")
 def _eval_analyze_simulate(p: dict) -> dict[str, Any]:
-    from ..analysis import analyze_instructions
-    from ..isa import parse_kernel
-    from ..simulator.core import CoreSimulator
+    from ..backends import get_backend
 
-    model = _model_from_params(p)
-    instrs = parse_kernel(p["assembly"], model.isa)
-    ana = analyze_instructions(instrs, model)
-    meas = CoreSimulator(model).run(
-        instrs,
+    block = _lowered(p)
+    ana = get_backend("model").predict(block)
+    meas = get_backend("sim").predict(
+        block,
         iterations=int(p["iterations"]),
         warmup=int(p["warmup"]),
     )
     return {
-        "prediction": ana.prediction,
+        "prediction": ana.cycles_per_iteration,
         "measurement": meas.cycles_per_iteration,
         "bottleneck": ana.bottleneck,
     }
@@ -120,36 +170,30 @@ def _eval_analyze_simulate(p: dict) -> dict[str, Any]:
 
 @evaluator("simulate")
 def _eval_simulate(p: dict) -> dict[str, Any]:
-    from ..isa import parse_kernel
-    from ..simulator.core import CoreSimulator
+    from ..backends import get_backend
 
-    model = _model_from_params(p)
-    instrs = parse_kernel(p["assembly"], model.isa)
-    r = CoreSimulator(model).run(
-        instrs,
+    r = get_backend("sim").predict(
+        _lowered(p),
         iterations=int(p["iterations"]),
         warmup=int(p["warmup"]),
     )
+    sim = r.detail
     return {
-        "cycles_per_iteration": r.cycles_per_iteration,
-        "total_cycles": r.total_cycles,
-        "instructions_retired": r.instructions_retired,
+        "cycles_per_iteration": sim.cycles_per_iteration,
+        "total_cycles": sim.total_cycles,
+        "instructions_retired": sim.instructions_retired,
     }
 
 
 @evaluator("mca")
 def _eval_mca(p: dict) -> dict[str, Any]:
-    from ..isa import parse_kernel
-    from ..mca import MCASchedData, MCASimulator
+    from ..backends import get_backend
 
-    model = _model_from_params(p)
-    instrs = parse_kernel(p["assembly"], model.isa)
-    sched = p.get("sched")
-    data = MCASchedData(model, **sched) if sched else MCASchedData(model)
-    r = MCASimulator(model, data).run(
-        instrs,
+    r = get_backend("mca").predict(
+        _lowered(p),
         iterations=int(p["iterations"]),
         warmup=int(p["warmup"]),
+        sched=p.get("sched"),
     )
     return {"cycles_per_iteration": r.cycles_per_iteration}
 
@@ -171,8 +215,10 @@ def _eval_microbench(p: dict) -> dict[str, Any]:
 def _eval_topdown(p: dict) -> dict[str, Any]:
     from ..analysis.topdown import analyze_topdown
 
-    model = _model_from_params(p)
-    r = analyze_topdown(p["assembly"], model, iterations=int(p["iterations"]))
+    block = _lowered(p)
+    r = analyze_topdown(
+        list(block.instructions), block.model, iterations=int(p["iterations"])
+    )
     return {
         "dominant": r.dominant,
         "cycles_per_iteration": r.cycles_per_iteration,

@@ -111,7 +111,15 @@ class Instruction:
     # -- dependency interface ----------------------------------------------
 
     def register_reads(self) -> tuple[str, ...]:
-        """Root names of all registers read (explicit + address + implicit)."""
+        """Root names of all registers read (explicit + address + implicit).
+
+        The result only depends on frozen fields, so it is computed once
+        and cached on the instance (timeline simulators ask per dynamic
+        instance; ``__dict__`` storage keeps dataclass eq/hash untouched).
+        """
+        cached = self.__dict__.get("_register_reads")
+        if cached is not None:
+            return cached
         roots: list[str] = []
         for op, acc in zip(self.operands, self.accesses):
             if isinstance(op, Register):
@@ -122,10 +130,18 @@ class Instruction:
                 for r in op.address_registers():
                     roots.append(r.root)
         roots.extend(self.implicit_reads)
-        return tuple(dict.fromkeys(roots))
+        reads = tuple(dict.fromkeys(roots))
+        object.__setattr__(self, "_register_reads", reads)
+        return reads
 
     def register_writes(self) -> tuple[str, ...]:
-        """Root names of all registers written (explicit + implicit)."""
+        """Root names of all registers written (explicit + implicit).
+
+        Cached per instance like :meth:`register_reads`.
+        """
+        cached = self.__dict__.get("_register_writes")
+        if cached is not None:
+            return cached
         roots: list[str] = []
         for op, acc in zip(self.operands, self.accesses):
             if isinstance(op, Register) and (acc & OperandAccess.WRITE):
@@ -135,7 +151,9 @@ class Instruction:
                 if op.base is not None:
                     roots.append(op.base.root)
         roots.extend(self.implicit_writes)
-        return tuple(dict.fromkeys(roots))
+        writes = tuple(dict.fromkeys(roots))
+        object.__setattr__(self, "_register_writes", writes)
+        return writes
 
     def destination_operands(self) -> tuple[Operand, ...]:
         return tuple(

@@ -1,0 +1,94 @@
+"""x86 syntax bridging: render parsed instructions back as Intel text.
+
+The repo's canonical x86 IR is AT&T-ordered (sources first,
+destination last) whichever front-end produced it —
+:class:`~repro.isa.parser_x86.ParserX86ATT` keeps source order,
+:class:`~repro.isa.parser_x86_intel.ParserX86Intel` reverses its
+destination-first input.  This module closes the loop: it renders an
+:class:`~repro.isa.instruction.Instruction` as Intel-syntax text, which
+makes the two front-ends mutually testable — parse AT&T, render Intel,
+re-parse, and the IRs must agree (the property-based
+``tests/test_syntax_equivalence.py`` does exactly that over
+corpus-generated blocks).
+
+Only features the IR itself represents round-trip: EVEX mask
+decorations, for example, are flattened into implicit reads at parse
+time and cannot be reconstructed.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .operands import Immediate, LabelOperand, MemoryOperand, Operand, Register
+from .semantics import _x86_stem
+
+
+def normalize_x86_mnemonic(mnemonic: str) -> str:
+    """Syntax-independent mnemonic: AT&T size suffixes stripped.
+
+    ``addq`` → ``add``, ``movl`` → ``mov``; SSE/AVX mnemonics (where a
+    trailing ``d``/``s`` is data-type, not size) pass through unchanged
+    via the semantics layer's known-stem whitelist.
+    """
+    return _x86_stem(mnemonic.lower())
+
+
+def _intel_memory(op: MemoryOperand) -> str:
+    parts: list[str] = []
+    if op.base is not None:
+        parts.append(op.base.name)
+    if op.index is not None:
+        if op.scale != 1:
+            parts.append(f"{op.index.name}*{op.scale}")
+        else:
+            parts.append(op.index.name)
+    inner = "+".join(parts)
+    if op.displacement or not inner:
+        if inner:
+            inner += f"{op.displacement:+d}"
+        else:
+            inner = str(op.displacement)
+    return f"[{inner}]"
+
+
+def intel_operand(op: Operand) -> str:
+    """One operand in Intel syntax (bare registers, no ``$`` immediates)."""
+    if isinstance(op, Register):
+        return op.name
+    if isinstance(op, MemoryOperand):
+        return _intel_memory(op)
+    if isinstance(op, Immediate):
+        v = op.value
+        if isinstance(v, float) and v.is_integer():
+            v = int(v)
+        return str(v)
+    if isinstance(op, LabelOperand):
+        return op.name
+    raise TypeError(f"cannot render operand {op!r}")  # pragma: no cover
+
+
+def render_intel(ins: Instruction) -> str:
+    """Render one parsed x86 instruction as an Intel-syntax line.
+
+    Operand order flips back to destination-first; the mnemonic loses
+    its AT&T size suffix (Intel spells operand width through registers
+    and ``ptr`` qualifiers, which the Intel parser treats as optional).
+    """
+    mnemonic = normalize_x86_mnemonic(ins.mnemonic)
+    ops = ", ".join(intel_operand(o) for o in reversed(ins.operands))
+    text = f"{mnemonic} {ops}".rstrip()
+    if ins.label:
+        return f"{ins.label}:\n{text}"
+    return text
+
+
+def att_to_intel(source: str) -> str:
+    """Translate an AT&T x86 kernel to Intel syntax via the IR.
+
+    Comments and directives are dropped (they do not survive parsing);
+    labels are re-emitted on their own line before the instruction they
+    were attached to.
+    """
+    from . import parse_kernel
+
+    return "\n".join(render_intel(i) for i in parse_kernel(source, "x86"))

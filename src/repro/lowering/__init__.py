@@ -1,0 +1,52 @@
+"""``repro.lowering`` — the shared parse → normalize → resolve front-end.
+
+Every prediction backend (static model, MCA baseline, core simulator)
+consumes the same lowered form of an assembly block; this package runs
+that front half exactly once per ``(assembly, machine model)`` pair and
+memoizes the result (see :mod:`.pipeline`).  Content digests shared
+with the engine's on-disk cache live in :mod:`.digests`.
+
+Entry points::
+
+    from repro.lowering import lower
+
+    block = lower(asm_text, "zen4")     # LoweredBlock
+    block.instructions                   # parsed+normalized IR
+    block.resolved                       # machine-resource bindings
+
+See ``docs/architecture.md`` for the full pipeline diagram.
+"""
+
+from .digests import (
+    assembly_digest,
+    cached_model_digest,
+    canonical_json,
+    canonicalize_assembly,
+    machine_model_digest,
+    sha256_text,
+)
+from .pipeline import (
+    MEMO_CAP,
+    LoweredBlock,
+    clear_memo,
+    lower,
+    memo_len,
+    memo_stats,
+    normalize_instructions,
+)
+
+__all__ = [
+    "MEMO_CAP",
+    "LoweredBlock",
+    "assembly_digest",
+    "cached_model_digest",
+    "canonical_json",
+    "canonicalize_assembly",
+    "clear_memo",
+    "lower",
+    "machine_model_digest",
+    "memo_len",
+    "memo_stats",
+    "normalize_instructions",
+    "sha256_text",
+]

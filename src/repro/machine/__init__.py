@@ -27,7 +27,12 @@ from .model import (
     ResolvedInstruction,
     UnknownInstructionError,
 )
-from .registry import get_machine_model, available_models, machine_for_chip
+from .registry import (
+    available_models,
+    coerce_model,
+    get_machine_model,
+    machine_for_chip,
+)
 from .specs import CHIP_SPECS, ChipSpec, get_chip_spec
 from .io import load_model, save_model, model_to_dict, model_from_dict
 from .whatif import widen_neoverse_v2, elements_per_vector
@@ -40,6 +45,7 @@ __all__ = [
     "UnknownInstructionError",
     "get_machine_model",
     "available_models",
+    "coerce_model",
     "machine_for_chip",
     "CHIP_SPECS",
     "ChipSpec",

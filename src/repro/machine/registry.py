@@ -55,3 +55,15 @@ def get_machine_model(name: str) -> MachineModel:
 def machine_for_chip(chip: str) -> MachineModel:
     """Alias of :func:`get_machine_model` for chip names (``gcs`` …)."""
     return get_machine_model(chip)
+
+
+def coerce_model(arch: "str | MachineModel") -> MachineModel:
+    """Accept a model instance, or look one up by name/chip alias.
+
+    The single home of the ``arch if isinstance(arch, MachineModel)
+    else get_machine_model(arch)`` idiom every public entry point
+    needs.
+    """
+    if isinstance(arch, MachineModel):
+        return arch
+    return get_machine_model(arch)

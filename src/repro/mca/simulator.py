@@ -21,10 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..isa import parse_kernel
 from ..isa.instruction import Instruction, OperandAccess
 from ..isa.operands import MemoryOperand
-from ..machine import MachineModel, get_machine_model
+from ..machine import MachineModel
 from .scheddata import MCASchedData
 
 
@@ -94,9 +93,16 @@ class MCASimulator:
         mark = 0.0
         uops_per_iter = sum(max(1, r.n_uops) for r in resolved)
 
+        # Per-instruction dependency sets are loop-invariant; computing
+        # them per dynamic instance dominated corpus-sweep wall time.
+        reg_reads = [ins.register_reads() for ins in instructions]
+        reg_writes = [ins.register_writes() for ins in instructions]
+        if not self.assume_noalias:
+            mem_reads = [self._mem_reads(ins) for ins in instructions]
+            mem_writes = [self._mem_writes(ins) for ins in instructions]
+
         for it in range(warmup + iterations):
             for j in range(n_body):
-                ins = instructions[j]
                 r = resolved[j]
 
                 # unfused dispatch accounting
@@ -105,12 +111,12 @@ class MCASimulator:
                 dispatch = frontend_time
 
                 ready = dispatch
-                for root in ins.register_reads():
+                for root in reg_reads[j]:
                     ready = max(ready, reg_ready.get(root, 0.0))
                 # llvm-mca's default is -noalias=true: no memory
                 # dependencies are modeled at all
                 if not self.assume_noalias:
-                    for key in self._mem_reads(ins):
+                    for key in mem_reads[j]:
                         ready = max(ready, mem_ready.get(key, 0.0))
 
                 finish = ready
@@ -129,10 +135,10 @@ class MCASimulator:
                     complete += r.load_latency
 
                 last_retire = max(last_retire, complete)
-                for root in ins.register_writes():
+                for root in reg_writes[j]:
                     reg_ready[root] = complete
                 if not self.assume_noalias:
-                    for key in self._mem_writes(ins):
+                    for key in mem_writes[j]:
                         mem_ready[key] = complete
             if it == warmup - 1:
                 mark = max(frontend_time, last_retire)
@@ -180,6 +186,9 @@ def mca_predict(
     **kwargs,
 ) -> MCAResult:
     """Parse a loop body and produce the MCA-baseline prediction."""
-    model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
-    instructions = parse_kernel(source, model.isa)
-    return MCASimulator(model, **kwargs).run(instructions, iterations=iterations)
+    from ..lowering import lower
+
+    block = lower(source, arch)
+    return MCASimulator(block.model, **kwargs).run(
+        block.instructions, iterations=iterations
+    )

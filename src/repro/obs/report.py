@@ -85,6 +85,7 @@ def build_manifest(
     cpu_seconds: float,
     engine=None,
     registry=None,
+    registry_since: Optional[dict[str, dict[str, Any]]] = None,
     failures: tuple[str, ...] | list[str] = (),
 ) -> dict[str, Any]:
     """Assemble one run's manifest (plain JSON-able dict)."""
@@ -116,6 +117,27 @@ def build_manifest(
         }
     if registry is not None:
         manifest["metrics"] = registry.snapshot()
+        # The lowering section records *this run's* memo effectiveness,
+        # so counters are deltas against the run-start snapshot when
+        # one is supplied (the ambient registry is process-cumulative).
+        counts = (
+            registry.delta(registry_since)
+            if registry_since is not None
+            else manifest["metrics"]
+        )
+
+        def _val(name: str) -> float:
+            return counts.get(name, {}).get("value", 0)
+
+        requests = _val("lowering.requests")
+        if requests:
+            hits = _val("lowering.memo_hits")
+            manifest["lowering"] = {
+                "requests": requests,
+                "memo_hits": hits,
+                "memo_misses": _val("lowering.memo_misses"),
+                "hit_rate": hits / requests,
+            }
     return manifest
 
 
@@ -221,6 +243,50 @@ def _numeric_leaves(obj: Any, prefix: str = "") -> dict[str, Any]:
     return out
 
 
+def _compare_stats(
+    name: str,
+    b_raw: Any,
+    c_raw: Any,
+    findings: list[Finding],
+    accuracy_tolerance: float,
+) -> int:
+    """Classify every stat delta between two nested stat dicts.
+
+    Returns the number of metrics compared; appends findings in place.
+    """
+    compared = 0
+    b_stats = _numeric_leaves(b_raw)
+    c_stats = _numeric_leaves(c_raw)
+    for metric in sorted(set(b_stats) | set(c_stats)):
+        bv, cv = b_stats.get(metric), c_stats.get(metric)
+        if bv is None or cv is None:
+            findings.append(
+                Finding("change", name, metric, bv, cv,
+                        "metric appeared/disappeared")
+            )
+            continue
+        compared += 1
+        if isinstance(bv, str) or isinstance(cv, str):
+            if bv != cv:
+                findings.append(Finding("change", name, metric, bv, cv))
+            continue
+        delta = float(cv) - float(bv)
+        if abs(delta) <= accuracy_tolerance * max(1.0, abs(float(bv))):
+            continue
+        lower_better = _direction(metric)
+        if lower_better is None:
+            findings.append(Finding("change", name, metric,
+                                    float(bv), float(cv)))
+        elif (delta > 0) == lower_better:
+            findings.append(Finding("regression", name, metric,
+                                    float(bv), float(cv),
+                                    "accuracy regression"))
+        else:
+            findings.append(Finding("improvement", name, metric,
+                                    float(bv), float(cv)))
+    return compared
+
+
 def diff_manifests(
     baseline: dict[str, Any],
     current: dict[str, Any],
@@ -282,35 +348,13 @@ def diff_manifests(
                 )
 
         # accuracy / content stats
-        b_stats = _numeric_leaves(b.get("stats") or {})
-        c_stats = _numeric_leaves(c.get("stats") or {})
-        for metric in sorted(set(b_stats) | set(c_stats)):
-            bv, cv = b_stats.get(metric), c_stats.get(metric)
-            if bv is None or cv is None:
-                findings.append(
-                    Finding("change", name, metric, bv, cv,
-                            "metric appeared/disappeared")
-                )
-                continue
-            compared += 1
-            if isinstance(bv, str) or isinstance(cv, str):
-                if bv != cv:
-                    findings.append(Finding("change", name, metric, bv, cv))
-                continue
-            delta = float(cv) - float(bv)
-            if abs(delta) <= accuracy_tolerance * max(1.0, abs(float(bv))):
-                continue
-            lower_better = _direction(metric)
-            if lower_better is None:
-                findings.append(Finding("change", name, metric,
-                                        float(bv), float(cv)))
-            elif (delta > 0) == lower_better:
-                findings.append(Finding("regression", name, metric,
-                                        float(bv), float(cv),
-                                        "accuracy regression"))
-            else:
-                findings.append(Finding("improvement", name, metric,
-                                        float(bv), float(cv)))
+        compared += _compare_stats(
+            name,
+            b.get("stats") or {},
+            c.get("stats") or {},
+            findings,
+            accuracy_tolerance,
+        )
 
     # whole-run wall time
     bw = baseline.get("timing", {}).get("wall_seconds")
@@ -325,6 +369,23 @@ def diff_manifests(
                 Finding("regression", "(run)", "wall_seconds", float(bw),
                         float(cw), "total runtime regression")
             )
+
+    # lowering-memo effectiveness (hit_rate higher-is-better,
+    # memo_misses lower-is-better per the direction conventions) — a
+    # refactor that silently stops sharing lowerings fails the gate here
+    bl = baseline.get("lowering")
+    cl = current.get("lowering")
+    if bl is not None and cl is not None:
+        compared += _compare_stats(
+            "(lowering)", bl, cl, findings, accuracy_tolerance
+        )
+    elif bl is not None or cl is not None:
+        findings.append(
+            Finding("note", "(lowering)", "presence",
+                    "present" if bl is not None else None,
+                    "present" if cl is not None else None,
+                    "lowering section appeared/disappeared")
+        )
 
     # machine-model drift is worth surfacing (it changes every number)
     bm = baseline.get("machine_models", {})

@@ -39,6 +39,11 @@ from typing import Any, Iterator, Optional, Sequence
 PID_SIM = 1
 #: trace "process" of the corpus engine (wall-clock timestamps)
 PID_ENGINE = 2
+#: trace "process" of the lowering pipeline (wall-clock timestamps)
+PID_LOWER = 3
+
+#: lowering lane (parse/resolve spans and memo-hit instants)
+TID_LOWER = 0
 
 #: simulator lanes
 TID_FRONTEND = 0

@@ -30,11 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..isa import parse_kernel
 from ..isa.idioms import is_zero_idiom
 from ..isa.instruction import Instruction, OperandAccess
 from ..isa.operands import MemoryOperand, Register
-from ..machine import MachineModel, get_machine_model
+from ..machine import MachineModel
 from ..machine.model import ResolvedInstruction
 
 #: measured divider occupancies that beat the machine-model value
@@ -207,6 +206,7 @@ class CoreSimulator:
         *,
         tracer=None,
         collect_stalls: bool = False,
+        resolved: Optional[Sequence[ResolvedInstruction]] = None,
     ) -> SimulationResult:
         """Execute ``warmup + iterations`` iterations; measure the tail.
 
@@ -226,7 +226,13 @@ class CoreSimulator:
         """
         if iterations < 1:
             raise ValueError("need at least one measured iteration")
-        resolved = [self.model.resolve(i) for i in instructions]
+        # ``resolved`` accepts the lowering pipeline's pre-resolved
+        # bindings (treated read-only); without it, resolve here.
+        resolved = (
+            [self.model.resolve(i) for i in instructions]
+            if resolved is None
+            else list(resolved)
+        )
         reads, writes = self._dependency_sets(instructions)
         split_extra = [self._split_load_uops(i) for i in instructions]
         # Memory keys whose address registers advance every iteration
@@ -617,13 +623,15 @@ def simulate_kernel(
     ``collect_stalls`` forward to :meth:`CoreSimulator.run` for pipeline
     tracing and stall attribution (see :mod:`repro.obs`).
     """
-    model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
-    instructions = parse_kernel(source, model.isa)
-    sim = CoreSimulator(model, **kwargs)
+    from ..lowering import lower
+
+    block = lower(source, arch)
+    sim = CoreSimulator(block.model, **kwargs)
     return sim.run(
-        instructions,
+        block.instructions,
         iterations=iterations,
         warmup=warmup,
         tracer=tracer,
         collect_stalls=collect_stalls,
+        resolved=block.resolved,
     )

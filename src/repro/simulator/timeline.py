@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..isa import parse_kernel
-from ..machine import MachineModel, get_machine_model
+from ..machine import MachineModel
 from .core import CoreSimulator, TraceEvent
 
 
@@ -74,13 +73,15 @@ def timeline(
     **sim_kwargs,
 ) -> str:
     """Parse, simulate, and render the timeline of the first iterations."""
-    model = arch if isinstance(arch, MachineModel) else get_machine_model(arch)
-    instrs = parse_kernel(source, model.isa)
-    sim = CoreSimulator(model, **sim_kwargs)
+    from ..lowering import lower
+
+    block = lower(source, arch)
+    sim = CoreSimulator(block.model, **sim_kwargs)
     result = sim.run(
-        instrs,
+        block.instructions,
         iterations=max(iterations, 10),
         warmup=0,
         trace_iterations=iterations,
+        resolved=block.resolved,
     )
     return render_timeline(result.trace)

@@ -198,3 +198,98 @@ def test_entry_latency_or_port_perturbation_changes_key(data):
     assert cache_key(_unit_for(BASE_ASM, model_dict=base)) != cache_key(
         _unit_for(BASE_ASM, model_dict=edited)
     )
+
+
+# ---------------------------------------------------------------------------
+# engine-version + backend-version invalidation
+# ---------------------------------------------------------------------------
+
+def _v1_key(unit: WorkUnit) -> str:
+    """The pre-refactor ("engine_version 1") key schema, hand-computed.
+
+    Version 1 pre-dated the unified lowering pipeline: no ``backends``
+    section in the payload and ``engine_version: "1"``.  Entries stored
+    under this schema must be unreachable after the refactor.
+    """
+    import hashlib
+
+    from repro.engine.cachekey import (
+        _MODEL_REF_PARAMS,
+        canonicalize_assembly as _canon,
+        machine_model_digest as _mmd,
+    )
+    from repro.engine.units import canonical_json
+
+    keyed = {}
+    for name, value in unit.params.items():
+        if name == "assembly":
+            keyed["assembly_digest"] = hashlib.sha256(
+                _canon(value).encode()
+            ).hexdigest()
+        elif name in _MODEL_REF_PARAMS and isinstance(value, str):
+            keyed[name] = value
+            keyed[f"{name}_model_digest"] = _mmd(value)
+        else:
+            keyed[name] = value
+    payload = canonical_json(
+        {"engine_version": "1", "kind": unit.kind, "params": keyed}
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_engine_version_is_bumped():
+    from repro.engine.cachekey import ENGINE_VERSION
+
+    assert ENGINE_VERSION == "2"
+
+
+def test_v1_cache_entries_are_not_served(tmp_path):
+    """A result stored under the old key schema must never be returned
+    by the refactored engine — the version bump makes it unreachable."""
+    from repro.engine import CorpusEngine
+
+    unit = WorkUnit.make(
+        "corpus",
+        uarch="zen4",
+        assembly="vaddpd %ymm0, %ymm1, %ymm2",
+        iterations=100,
+    )
+    stale = {"measurement": -1.0, "prediction_osaca": -1.0,
+             "prediction_mca": -1.0, "bottleneck": "stale"}
+
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(tmp_path)
+    old_key = _v1_key(unit)
+    assert old_key != cache_key(unit)
+    cache.put(old_key, stale)
+
+    [out] = CorpusEngine(jobs=1, cache_dir=tmp_path).run([unit])
+    assert out != stale
+    assert out["measurement"] > 0
+
+
+def test_backend_version_participates_in_key(monkeypatch):
+    """Bumping any dispatched backend's version must change the key for
+    units of kinds that dispatch to it — and only those."""
+    from repro.backends import get_backend
+
+    corpus = _unit_for(BASE_ASM)  # "simulate" kind -> sim backend
+    micro = WorkUnit.make("microbench", chip="spr")
+
+    before_sim = cache_key(corpus)
+    before_micro = cache_key(micro)
+    monkeypatch.setattr(get_backend("sim"), "version", "test-bumped")
+    assert cache_key(corpus) != before_sim
+    assert cache_key(micro) == before_micro
+
+
+def test_corpus_backend_subset_changes_key():
+    base = WorkUnit.make(
+        "corpus", uarch="zen4", assembly=BASE_ASM, iterations=100
+    )
+    subset = WorkUnit.make(
+        "corpus", uarch="zen4", assembly=BASE_ASM, iterations=100,
+        backends=["model", "sim"],
+    )
+    assert cache_key(base) != cache_key(subset)

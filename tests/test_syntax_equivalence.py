@@ -1,0 +1,91 @@
+"""Property test: AT&T and Intel x86 front-ends lower to one IR.
+
+Every x86 block the corpus generator emits (AT&T syntax) is translated
+to Intel syntax via the IR renderer (:mod:`repro.isa.syntax`) and
+re-parsed with the Intel front-end.  Both parses must lower to
+equivalent Instruction IR: same normalized mnemonics, same operand
+kinds and dependency sets, and — the part the predictions actually
+consume — identical machine-model resolution (µops, latency,
+throughput, divider, memory traffic).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import parse_kernel
+from repro.isa.idioms import is_zero_idiom
+from repro.isa.syntax import att_to_intel, normalize_x86_mnemonic, render_intel
+from repro.kernels import enumerate_corpus
+from repro.machine import get_machine_model
+
+_X86_ENTRIES = [
+    e
+    for e in enumerate_corpus()
+    if get_machine_model(e.uarch).isa == "x86"
+]
+assert _X86_ENTRIES, "corpus lost its x86 blocks?"
+
+
+def _resolution_fields(model, ins):
+    r = model.resolve(ins)
+    return (
+        r.uops,
+        r.latency,
+        r.throughput,
+        r.divider,
+        r.n_loads,
+        r.n_stores,
+        r.load_latency,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(_X86_ENTRIES))
+def test_att_and_intel_parse_to_equivalent_ir(entry):
+    att = parse_kernel(entry.assembly, "x86")
+    intel = parse_kernel(att_to_intel(entry.assembly), "x86_intel")
+    model = get_machine_model(entry.uarch)
+
+    assert len(att) == len(intel)
+    for a, b in zip(att, intel):
+        # mnemonic normalization (AT&T size suffix is syntax, not meaning)
+        assert normalize_x86_mnemonic(a.mnemonic) == normalize_x86_mnemonic(
+            b.mnemonic
+        )
+        # operand kinds and canonical (AT&T) order
+        assert [type(o).__name__ for o in a.operands] == [
+            type(o).__name__ for o in b.operands
+        ]
+        assert [str(o) for o in a.operands] == [str(o) for o in b.operands]
+        # semantics: per-operand access and dependency sets
+        assert a.accesses == b.accesses
+        assert a.register_reads() == b.register_reads()
+        assert a.register_writes() == b.register_writes()
+        assert is_zero_idiom(a) == is_zero_idiom(b)
+        # machine-model resolution: what the backends actually consume
+        assert _resolution_fields(model, a) == _resolution_fields(model, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(_X86_ENTRIES))
+def test_intel_rendering_is_stable(entry):
+    """Intel-rendering the Intel re-parse is a fixed point."""
+    once = att_to_intel(entry.assembly)
+    twice = "\n".join(
+        render_intel(i) for i in parse_kernel(once, "x86_intel")
+    )
+    assert once == twice
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(_X86_ENTRIES))
+def test_equivalent_static_prediction(entry):
+    """End to end: both syntaxes produce the same model prediction."""
+    from repro.analysis.throughput import analyze_instructions
+
+    model = get_machine_model(entry.uarch)
+    att = parse_kernel(entry.assembly, "x86")
+    intel = parse_kernel(att_to_intel(entry.assembly), "x86_intel")
+    assert analyze_instructions(att, model).prediction == analyze_instructions(
+        intel, model
+    ).prediction
