@@ -5,7 +5,7 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint test test-fast bench report verify all-figures trace-demo clean
+.PHONY: install lint test test-fast test-chaos bench report verify all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,13 +19,19 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-# everything, including @pytest.mark.slow full-corpus sweeps
+# everything, including @pytest.mark.slow full-corpus sweeps and the
+# @pytest.mark.chaos fault-injection suite
 test:
 	$(PY) -m pytest tests/ -m ""
 
-# the default developer loop: lint + slow-marked sweeps deselected
+# the default developer loop: lint + slow/chaos-marked tests deselected
 test-fast: lint
-	$(PY) -m pytest tests/ -m "not slow"
+	$(PY) -m pytest tests/ -m "not slow and not chaos"
+
+# the robustness suite alone: deterministic fault injection, worker
+# kills, hang timeouts (see docs/robustness.md)
+test-chaos:
+	$(PY) -m pytest tests/ -m chaos
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

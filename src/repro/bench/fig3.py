@@ -72,6 +72,10 @@ class Fig3Record:
 class Fig3Result:
     records: list[Fig3Record]
     unique_assembly: int
+    #: corpus entries with no usable output — the unit failed under a
+    #: collect/quarantine engine run, or its measurement backend
+    #: degraded away; 0 on every clean run
+    skipped: int = 0
 
     def which_available(self) -> list[str]:
         """Prediction kinds present in the records (full run: both)."""
@@ -161,6 +165,9 @@ def manifest_stats(result: Fig3Result) -> dict:
     stats = {
         "tests": len(result.records),
         "unique_assembly": result.unique_assembly,
+        # only surfaced when nonzero so clean-run manifests are
+        # byte-stable against pre-existing golden baselines
+        **({"skipped": result.skipped} if result.skipped else {}),
         "per_arch_global_rpe": {
             uarch: s["global_rpe"]
             for uarch, s in result.per_arch_summary("osaca").items()
@@ -239,16 +246,29 @@ def run(
     )
     eng = resolve_engine(engine, jobs, cache)
     outputs = eng.run(corpus_units(corpus, iterations, backends))
-    records = [
-        Fig3Record(
-            entry=e,
-            measurement=out["measurement"],
-            prediction_osaca=out.get("prediction_osaca"),
-            prediction_mca=out.get("prediction_mca"),
+    # Under collect/quarantine error policies the engine returns None at
+    # failed indices, and a degraded corpus result may lack the
+    # simulator measurement (the RPE denominator) — both are skipped,
+    # counted, and the remaining statistics stay exact.
+    records = []
+    skipped = 0
+    for e, out in zip(corpus, outputs):
+        if out is None or "measurement" not in out:
+            skipped += 1
+            continue
+        records.append(
+            Fig3Record(
+                entry=e,
+                measurement=out["measurement"],
+                prediction_osaca=out.get("prediction_osaca"),
+                prediction_mca=out.get("prediction_mca"),
+            )
         )
-        for e, out in zip(corpus, outputs)
-    ]
-    return Fig3Result(records=records, unique_assembly=unique_assembly_count(corpus))
+    return Fig3Result(
+        records=records,
+        unique_assembly=unique_assembly_count(corpus),
+        skipped=skipped,
+    )
 
 
 _LABELS = {"osaca": "our model (OSACA-style)", "mca": "LLVM-MCA baseline"}
@@ -288,6 +308,12 @@ def render(result: Fig3Result | None = None) -> str:
         f"corpus: {len(result.records)} tests, {result.unique_assembly} unique "
         f"assembly representations (paper: 416 / 290)"
     )
+    if result.skipped:
+        blocks.append(
+            f"WARNING: {result.skipped} corpus test(s) skipped "
+            f"(failed or degraded work units; statistics above cover "
+            f"the surviving tests only)"
+        )
     if "osaca" in available:
         blocks.append("")
         blocks.append("per-kernel mean |RPE| (our model):")

@@ -34,6 +34,10 @@
     interactive terminal, per-unit progress renders as a stderr bar.
     ``--run-report PATH`` writes a structured manifest of the run
     (config, model digests, per-benchmark accuracy, timings).
+    ``--error-policy collect|quarantine`` lets a sweep survive failing
+    work units (structured failure reports, nonzero exit while any
+    remain); ``--max-retries`` / ``--unit-timeout`` bound transient
+    failures and hung units (see ``docs/robustness.md``).
 
 ``repro-report``
     Diff two run-report manifests and flag accuracy or runtime
@@ -284,9 +288,44 @@ def bench_main(argv: list[str] | None = None) -> int:
              "(model,mca,sim); 'sim' is always required — it is the "
              "measurement every RPE is computed against",
     )
+    parser.add_argument(
+        "--error-policy",
+        choices=("fail_fast", "collect", "quarantine"),
+        default="fail_fast",
+        dest="error_policy",
+        help="what a failed work unit does to the run: abort it "
+             "(fail_fast, default), finish the sweep and report "
+             "structured failures (collect — the exit code is still "
+             "nonzero when failures remain), or additionally skip the "
+             "failed units in later batches (quarantine); see "
+             "docs/robustness.md",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        dest="max_retries",
+        help="re-attempts for transiently failed units (deterministic "
+             "exponential backoff; default: 2, 0 disables retries)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="unit_timeout",
+        help="per-attempt deadline for one work unit; a unit running "
+             "past it fails transiently and is retried within the "
+             "retry budget (default: no deadline)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be positive")
     backends: tuple[str, ...] | None = None
     if args.backends:
         from .bench.fig3 import _normalize_backends
@@ -302,7 +341,12 @@ def bench_main(argv: list[str] | None = None) -> int:
 
     progress = ProgressBar.if_tty()
     engine = CorpusEngine(
-        jobs=args.jobs, cache_dir=args.cache, progress=progress
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        progress=progress,
+        error_policy=args.error_policy,
+        max_retries=args.max_retries,
+        unit_timeout=args.unit_timeout,
     )
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
     structured = bool(args.json or args.run_report)
@@ -410,9 +454,23 @@ def bench_main(argv: list[str] | None = None) -> int:
             registry=get_registry(),
             registry_since=registry_since,
             failures=failures,
+            unit_failures=engine.failure_log,
         )
         write_manifest(manifest, args.run_report)
         print(f"[run report written to {args.run_report}]")
+    if engine.failure_log:
+        print(
+            f"ERROR: {len(engine.failure_log)} work unit(s) failed "
+            f"(error_policy={args.error_policy}):",
+            file=sys.stderr,
+        )
+        for f in engine.failure_log[:20]:
+            print(f"  {f.summary()}", file=sys.stderr)
+        if len(engine.failure_log) > 20:
+            print(
+                f"  ... and {len(engine.failure_log) - 20} more",
+                file=sys.stderr,
+            )
     if failures:
         print(
             f"ERROR: {len(failures)} experiment(s) failed: "
@@ -420,7 +478,7 @@ def bench_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return 1 if engine.failure_log else 0
 
 
 def report_main(argv: list[str] | None = None) -> int:

@@ -11,7 +11,12 @@ provides:
 * :class:`ResultCache` — on-disk content-addressed store keyed by
   :func:`cache_key` (assembly text modulo comments/whitespace +
   machine-model digest + simulation parameters + engine version),
-* :class:`EngineMetrics` — wall time, hit rate, worker utilization.
+* :class:`EngineMetrics` — wall time, hit rate, worker utilization,
+  failure/retry/degradation counters,
+* an error taxonomy (:mod:`.errors`) and per-unit failure isolation:
+  bounded retries with deterministic backoff, per-attempt deadlines,
+  worker-crash recovery, and ``error_policy`` dispositions
+  (``fail_fast`` / ``collect`` / ``quarantine`` — ``docs/robustness.md``).
 
 Entry points: ``repro-bench --jobs N --cache DIR`` drives every
 experiment through an ambient engine; library code accepts
@@ -24,6 +29,18 @@ from .cachekey import (
     cache_key,
     canonicalize_assembly,
     machine_model_digest,
+)
+from .errors import (
+    ERROR_POLICIES,
+    EngineError,
+    PermanentError,
+    RetryPolicy,
+    TransientError,
+    UnitFailure,
+    UnitTimeoutError,
+    WorkerCrashError,
+    classify,
+    is_transient,
 )
 from .evaluators import evaluate, evaluator, known_kinds
 from .pool import (
@@ -39,14 +56,24 @@ from .units import UnitOutcome, WorkUnit
 
 __all__ = [
     "ENGINE_VERSION",
+    "ERROR_POLICIES",
     "CacheStats",
     "CorpusEngine",
+    "EngineError",
     "EngineMetrics",
+    "PermanentError",
     "ResultCache",
+    "RetryPolicy",
+    "TransientError",
     "UnitEvaluationError",
+    "UnitFailure",
     "UnitOutcome",
+    "UnitTimeoutError",
     "WorkUnit",
+    "WorkerCrashError",
     "cache_key",
+    "classify",
+    "is_transient",
     "canonicalize_assembly",
     "evaluate",
     "evaluator",

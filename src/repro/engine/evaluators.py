@@ -56,6 +56,23 @@ CORPUS_FIELDS = {
 CORPUS_BACKENDS = ("model", "sim", "mca")
 
 
+#: when True, the ``corpus`` kind degrades gracefully: one backend
+#: failing yields a partial result tagged with the backend error rather
+#: than failing the whole unit.  Set by the engine (worker initializer
+#: / serial context) iff ``error_policy != "fail_fast"``, so the
+#: default policy keeps exact historical semantics.
+_PARTIAL_RESULTS = False
+
+
+def set_partial_results(enabled: bool) -> None:
+    global _PARTIAL_RESULTS
+    _PARTIAL_RESULTS = bool(enabled)
+
+
+def partial_results_enabled() -> bool:
+    return _PARTIAL_RESULTS
+
+
 def evaluator(kind: str) -> Callable[[Evaluator], Evaluator]:
     """Register an evaluator for a unit kind."""
 
@@ -124,11 +141,30 @@ def _eval_corpus(p: dict) -> dict[str, Any]:
     names = [n for n in CORPUS_BACKENDS if n in names]
 
     out: dict[str, Any] = {}
+    backend_errors: dict[str, str] = {}
     for name in names:
-        r = get_backend(name).predict(block, **opts[name])
+        try:
+            r = get_backend(name).predict(block, **opts[name])
+        except Exception as exc:
+            if not _PARTIAL_RESULTS:
+                raise
+            backend_errors[name] = f"{type(exc).__name__}: {exc}"
+            continue
         out[CORPUS_FIELDS[name]] = r.cycles_per_iteration
         if name == "model":
             out["bottleneck"] = r.bottleneck
+    if backend_errors:
+        if len(backend_errors) == len(names):
+            # nothing succeeded — a fully empty "partial" result would
+            # masquerade as data; fail the unit instead
+            raise RuntimeError(
+                "all corpus backends failed: "
+                + "; ".join(
+                    f"{n}: {e}" for n, e in sorted(backend_errors.items())
+                )
+            )
+        out["degraded"] = True
+        out["backend_errors"] = backend_errors
     return out
 
 

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .errors import UnitFailure
 
 
 def canonical_json(obj: Any) -> str:
@@ -59,10 +62,17 @@ class WorkUnit:
 
 @dataclass
 class UnitOutcome:
-    """Per-unit execution record kept by the engine for metrics/hooks."""
+    """Per-unit execution record kept by the engine for metrics/hooks.
+
+    Exactly one of ``result``/``failure`` is set: ``failure`` carries
+    the structured :class:`~repro.engine.errors.UnitFailure` when the
+    unit failed under the ``collect``/``quarantine`` error policies
+    (``result`` is then ``None``).
+    """
 
     index: int
     unit: WorkUnit
     cached: bool
     seconds: float
-    result: dict[str, Any]
+    result: Optional[dict[str, Any]]
+    failure: Optional["UnitFailure"] = None

@@ -290,6 +290,30 @@ def record_engine_metrics(
     reg.counter("engine.units_evaluated", "units actually computed").inc(
         m.evaluated
     )
+    if m.failed:
+        reg.counter(
+            "engine.units_failed", "units that exhausted their retry budget"
+        ).inc(m.failed)
+    if m.retries:
+        reg.counter(
+            "engine.unit_retries", "re-dispatches after transient failures"
+        ).inc(m.retries)
+    if m.degraded:
+        reg.counter(
+            "engine.units_degraded", "partial results (a backend failed)"
+        ).inc(m.degraded)
+    if m.worker_respawns:
+        reg.counter(
+            "engine.worker_respawns", "pool workers replaced after dying"
+        ).inc(m.worker_respawns)
+    if m.cache_write_errors:
+        reg.counter(
+            "engine.cache_write_errors", "absorbed result-cache write failures"
+        ).inc(m.cache_write_errors)
+    if m.cache_corrupt:
+        reg.counter(
+            "engine.cache_corrupt", "corrupt cache entries quarantined"
+        ).inc(m.cache_corrupt)
     reg.counter("engine.wall_seconds", "batch wall time").inc(m.wall_seconds)
     reg.counter("engine.busy_seconds", "summed evaluation time").inc(
         m.busy_seconds

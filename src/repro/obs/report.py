@@ -29,6 +29,7 @@ SCHEMA = "repro-run-report/1"
 #: against the final path component of the metric, first match wins.
 _LOWER_IS_BETTER = (
     "rpe", "mape", "error", "off_by", "seconds", "misses", "violations",
+    "skipped", "failed", "retries",
 )
 _HIGHER_IS_BETTER = (
     "right_side", "within_", "hit_rate", "accuracy", "gflops", "ipc",
@@ -87,8 +88,17 @@ def build_manifest(
     registry=None,
     registry_since: Optional[dict[str, dict[str, Any]]] = None,
     failures: tuple[str, ...] | list[str] = (),
+    unit_failures: Any = (),
 ) -> dict[str, Any]:
-    """Assemble one run's manifest (plain JSON-able dict)."""
+    """Assemble one run's manifest (plain JSON-able dict).
+
+    ``failures`` names benchmarks that errored out whole;
+    ``unit_failures`` carries the engine's per-unit
+    :class:`~repro.engine.errors.UnitFailure` records (or their
+    ``to_json`` dicts) from ``collect``/``quarantine`` runs — the diff
+    treats a unit failing *now but not in the baseline* as a
+    regression.
+    """
     from ..engine.cachekey import ENGINE_VERSION
 
     manifest: dict[str, Any] = {
@@ -105,6 +115,12 @@ def build_manifest(
         "benchmarks": jsonable(benchmarks),
         "failures": list(failures),
     }
+    unit_failure_dicts = [
+        f.to_json() if hasattr(f, "to_json") else dict(f)
+        for f in unit_failures
+    ]
+    if unit_failure_dicts:
+        manifest["unit_failures"] = unit_failure_dicts
     if engine is not None:
         t = engine.totals
         manifest["engine"] = {
@@ -112,6 +128,10 @@ def build_manifest(
             "total_units": t.total_units,
             "cache_hits": t.cache_hits,
             "evaluated": t.evaluated,
+            "failed": t.failed,
+            "retries": t.retries,
+            "degraded": t.degraded,
+            "worker_respawns": t.worker_respawns,
             "wall_seconds": t.wall_seconds,
             "busy_seconds": t.busy_seconds,
         }
@@ -386,6 +406,41 @@ def diff_manifests(
                     "present" if cl is not None else None,
                     "lowering section appeared/disappeared")
         )
+
+    # per-unit failures (collect/quarantine runs): a unit failing now
+    # but not in the baseline is a robustness regression; a baseline
+    # failure that resolved is an improvement.  Keyed by (kind, label)
+    # so attempt counts/messages may vary without flapping the gate.
+    def _failure_keys(manifest: dict[str, Any]) -> dict[tuple, dict]:
+        return {
+            (f.get("unit_kind", ""), f.get("label", "")): f
+            for f in manifest.get("unit_failures", [])
+        }
+
+    bf = _failure_keys(baseline)
+    cf = _failure_keys(current)
+    for key in sorted(set(bf) | set(cf)):
+        name = f"{key[0]}:{key[1]}"
+        if key not in bf:
+            f = cf[key]
+            findings.append(
+                Finding(
+                    "regression", "(units)", name, None,
+                    f.get("error_class"),
+                    f"new unit failure after {f.get('attempts', '?')} "
+                    f"attempt(s): {f.get('message', '')}",
+                )
+            )
+        elif key not in cf:
+            findings.append(
+                Finding(
+                    "improvement", "(units)", name,
+                    bf[key].get("error_class"), None,
+                    "baseline unit failure resolved",
+                )
+            )
+    if bf or cf:
+        compared += len(set(bf) | set(cf))
 
     # machine-model drift is worth surfacing (it changes every number)
     bm = baseline.get("machine_models", {})

@@ -1,0 +1,351 @@
+"""Chaos suite: the engine under injected partial failure.
+
+Every test here provokes a failure mode through the deterministic
+fault-injection harness (``repro.faults``) — evaluator exceptions at a
+rate, worker kills, hangs past the unit deadline, cache write failures
+— and asserts the engine's contract holds: batches complete (no
+hangs), surviving results are bit-identical to a clean serial run,
+failures surface as structured records, and the accounting invariant
+``hits + evaluated + failed == total`` never breaks.
+
+Marked ``chaos``: run via ``make test-chaos`` (or ``make test``);
+excluded from the ``make test-fast`` developer loop because worker
+kills and drain deadlines cost real seconds.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.bench import fig3
+from repro.engine import CorpusEngine, WorkUnit
+from repro.engine.evaluators import evaluator
+from repro.engine.pool import _WorkerPool
+from repro.faults import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+
+@evaluator("chaos_work")
+def _work(p):
+    # deterministic, mildly non-trivial (float math must replay exactly)
+    x = float(p["x"])
+    return {"v": x * 1.5 + 0.125, "sq": x * x}
+
+
+@evaluator("chaos_sigkill")
+def _sigkill(p):
+    # hard-kill the worker on the first attempt only: a marker file
+    # records that the kill already happened, so the retry succeeds
+    marker = p["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("killed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"v": "survived"}
+
+
+def _units(n):
+    return [WorkUnit.make("chaos_work", label=f"w{i}", x=i) for i in range(n)]
+
+
+@pytest.fixture
+def fast_drain(monkeypatch):
+    """Shrink the post-crash drain grace so kill tests stay quick."""
+    monkeypatch.setattr(_WorkerPool, "drain_grace", 0.4)
+
+
+class TestFaultRateSweep:
+    """The acceptance scenario: jobs=4, 10 % evaluator faults, collect."""
+
+    RATE, SEED, N = 0.1, 1234, 40
+
+    def _plan(self):
+        return FaultPlan(
+            [FaultSpec(site="evaluate", rate=self.RATE,
+                       error_type="permanent")],
+            seed=self.SEED,
+        )
+
+    def test_survivors_bit_identical_to_clean_serial(self):
+        units = _units(self.N)
+        clean = CorpusEngine(jobs=1).run(units)
+        with faults.use_plan(self._plan()):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", retry_backoff=0.001
+            )
+            chaotic = eng.run(units)
+        faulted = {
+            i for i, u in enumerate(units)
+            if self._plan().would_fault("evaluate", u.label)
+        }
+        assert faulted, "seed must fault at least one unit"
+        assert len(faulted) < self.N, "seed must not fault every unit"
+        for i in range(self.N):
+            if i in faulted:
+                assert chaotic[i] is None
+            else:
+                assert chaotic[i] == clean[i]  # bit-identical dicts
+
+    def test_structured_failures_with_attempt_counts(self):
+        units = _units(self.N)
+        with faults.use_plan(self._plan()):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", max_retries=2,
+                retry_backoff=0.001,
+            )
+            eng.run(units)
+        assert eng.failures
+        for f in eng.failures:
+            assert f.error_class == "InjectedPermanentFault"
+            assert f.kind == "permanent"
+            assert f.attempts == 1  # permanent faults burn no retries
+            assert f.traceback_repr  # carried across the pickle boundary
+        m = eng.metrics
+        assert m.cache_hits + m.evaluated + m.failed == m.total_units
+        assert m.failed == len(eng.failures)
+
+    def test_transient_rate_heals_under_retry(self):
+        # same 10% schedule but transient and healing after attempt 0:
+        # every unit must succeed, retries must be counted
+        plan = FaultPlan(
+            [FaultSpec(site="evaluate", rate=self.RATE, attempts=(0,))],
+            seed=self.SEED,
+        )
+        units = _units(self.N)
+        clean = CorpusEngine(jobs=1).run(units)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", retry_backoff=0.001
+            )
+            out = eng.run(units)
+        assert out == clean
+        assert eng.metrics.failed == 0
+        expected_retries = sum(
+            plan.would_fault("evaluate", u.label, 0) for u in units
+        )
+        assert eng.metrics.retries == expected_retries > 0
+
+    def test_real_corpus_slice_under_faults(self):
+        """Fig. 3 work units under a 10 % fault rate: surviving corpus
+        entries keep their exact clean-serial numbers and the benchmark
+        layer skips the failed ones instead of crashing."""
+        corpus = fig3.enumerate_corpus(
+            machines=("genoa",), kernels=("striad",)
+        )
+        units = fig3.corpus_units(corpus, iterations=30)
+        clean = CorpusEngine(jobs=1).run(units)
+        plan = FaultPlan(
+            [FaultSpec(site="evaluate", rate=0.25, error_type="permanent")],
+            seed=7,
+        )
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", retry_backoff=0.001
+            )
+            chaotic = eng.run(units)
+        survivors = 0
+        for i, u in enumerate(units):
+            if plan.would_fault("evaluate", u.label):
+                assert chaotic[i] is None
+            else:
+                assert chaotic[i] == clean[i]
+                survivors += 1
+        assert survivors and eng.failures
+
+
+class TestWorkerKill:
+    def test_os_exit_victim_retried_and_batch_completes(self, fast_drain):
+        plan = FaultPlan(
+            [FaultSpec(site="exit", match="w3", attempts=(0,))]
+        )
+        units = _units(10)
+        clean = CorpusEngine(jobs=1).run(units)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", retry_backoff=0.001
+            )
+            t0 = time.monotonic()
+            out = eng.run(units)
+            elapsed = time.monotonic() - t0
+        assert out == clean  # victim healed on respawned capacity
+        assert eng.metrics.failed == 0
+        assert eng.metrics.worker_respawns >= 1
+        assert eng.metrics.retries >= 1
+        assert elapsed < 30, "worker kill must not stall the batch"
+
+    def test_sigkill_victim_retried_and_batch_completes(
+        self, fast_drain, tmp_path
+    ):
+        marker = str(tmp_path / "killed-once")
+        units = [
+            WorkUnit.make("chaos_work", label=f"w{i}", x=i) for i in range(6)
+        ] + [WorkUnit.make("chaos_sigkill", label="victim", marker=marker)]
+        eng = CorpusEngine(jobs=4, error_policy="collect", retry_backoff=0.001)
+        out = eng.run(units)
+        assert out[-1] == {"v": "survived"}
+        assert out[:6] == CorpusEngine(jobs=1).run(units[:6])
+        assert eng.metrics.worker_respawns >= 1
+        assert os.path.exists(marker)
+
+    def test_kill_without_retry_budget_reports_crash(self, fast_drain):
+        plan = FaultPlan([FaultSpec(site="exit", match="w2")])
+        units = _units(8)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", max_retries=0
+            )
+            out = eng.run(units)
+        assert out[2] is None
+        (f,) = eng.failures
+        assert f.error_class == "WorkerCrashError"
+        assert f.kind == "transient" and f.attempts == 1
+        # everything else still completed
+        assert sum(r is not None for r in out) == 7
+
+    def test_fail_fast_raises_on_unrecoverable_crash(self, fast_drain):
+        from repro.engine import UnitEvaluationError
+
+        plan = FaultPlan([FaultSpec(site="exit", match="w1")])
+        with faults.use_plan(plan):
+            eng = CorpusEngine(jobs=4, max_retries=0)
+            with pytest.raises(UnitEvaluationError, match="WorkerCrashError"):
+                eng.run(_units(6))
+
+
+class TestHangTimeout:
+    def test_hang_converts_to_timeout_failure(self):
+        plan = FaultPlan(
+            [FaultSpec(site="hang", match="w4", hang_seconds=60.0)]
+        )
+        units = _units(8)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", max_retries=0,
+                unit_timeout=0.3,
+            )
+            t0 = time.monotonic()
+            out = eng.run(units)
+            elapsed = time.monotonic() - t0
+        assert out[4] is None
+        (f,) = eng.failures
+        assert f.error_class == "UnitTimeoutError"
+        assert f.kind == "transient"
+        assert elapsed < 10, "deadline must cut the hang loose"
+
+    def test_hang_heals_on_retry(self):
+        plan = FaultPlan(
+            [FaultSpec(site="hang", match="w4", hang_seconds=60.0,
+                       attempts=(0,))]
+        )
+        units = _units(8)
+        clean = CorpusEngine(jobs=1).run(units)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=4, error_policy="collect", retry_backoff=0.001,
+                unit_timeout=0.3,
+            )
+            out = eng.run(units)
+        assert out == clean
+        assert eng.metrics.retries >= 1 and eng.metrics.failed == 0
+
+    def test_serial_path_honors_deadline_too(self):
+        plan = FaultPlan(
+            [FaultSpec(site="hang", match="w1", hang_seconds=60.0)]
+        )
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=1, error_policy="collect", max_retries=0,
+                unit_timeout=0.3,
+            )
+            t0 = time.monotonic()
+            out = eng.run(_units(3))
+            elapsed = time.monotonic() - t0
+        assert out[1] is None and elapsed < 10
+        assert eng.failures[0].error_class == "UnitTimeoutError"
+
+
+class TestCacheFaults:
+    def test_write_failures_absorbed_at_jobs_4(self, tmp_path):
+        plan = FaultPlan([FaultSpec(site="cache.put", match="w2")])
+        units = _units(8)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(jobs=4, cache_dir=tmp_path / "c")
+            out = eng.run(units)
+        assert out == CorpusEngine(jobs=1).run(units)
+        assert eng.metrics.cache_write_errors == 1
+        assert eng.cache.stats.puts == 7  # the others landed
+
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        plan = FaultPlan([FaultSpec(site="cache.corrupt", match="w5")])
+        units = _units(8)
+        with faults.use_plan(plan):
+            CorpusEngine(jobs=1, cache_dir=tmp_path / "c").run(units)
+        eng = CorpusEngine(jobs=1, cache_dir=tmp_path / "c")
+        out = eng.run(units)
+        assert out == CorpusEngine(jobs=1).run(units)
+        assert eng.metrics.cache_corrupt == 1
+        assert eng.metrics.cache_hits == 7 and eng.metrics.evaluated == 1
+        assert len(eng.cache.corrupt_entries()) == 1
+        m = eng.metrics
+        assert m.cache_hits + m.evaluated + m.failed == m.total_units
+
+
+class TestScheduleInvariants:
+    """Property: *any* fault schedule preserves ordering + accounting."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        rate=st.floats(0.0, 1.0),
+        error_type=st.sampled_from(["transient", "permanent"]),
+        n=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_collect_invariants_hold(self, seed, rate, error_type, n):
+        plan = FaultPlan(
+            [FaultSpec(site="evaluate", rate=rate, error_type=error_type)],
+            seed=seed,
+        )
+        units = _units(n)
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=1, error_policy="collect", max_retries=1,
+                retry_backoff=0.0,
+            )
+            out = eng.run(units)
+        m = eng.metrics
+        # accounting
+        assert m.cache_hits + m.evaluated + m.failed == m.total_units == n
+        assert m.failed == len(eng.failures)
+        # ordering/alignment: index i is unit i's result or a failure
+        failed_idx = {f.index for f in eng.failures}
+        for i, u in enumerate(units):
+            if i in failed_idx:
+                assert out[i] is None
+            else:
+                assert out[i] == {"v": i * 1.5 + 0.125, "sq": float(i * i)}
+        # transient faults fire on attempts 0 AND 1 here only when the
+        # draw says so; whatever happened, failures are structured
+        for f in eng.failures:
+            assert f.attempts >= 1 and f.error_class.startswith("Injected")
+
+    @given(seed=st.integers(0, 2**16), rate=st.floats(0.05, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_replays_identically(self, seed, rate):
+        spec = FaultSpec(site="evaluate", rate=rate, error_type="permanent")
+        units = _units(10)
+
+        def run_once():
+            with faults.use_plan(FaultPlan([spec], seed=seed)):
+                eng = CorpusEngine(
+                    jobs=1, error_policy="collect", retry_backoff=0.0
+                )
+                out = eng.run(units)
+            return out, sorted(f.index for f in eng.failures)
+
+        assert run_once() == run_once()
