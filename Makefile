@@ -5,7 +5,7 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint test test-fast test-chaos bench report verify all-figures trace-demo clean
+.PHONY: install lint test test-fast test-chaos test-fuzz fuzz bench report verify all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,14 +24,26 @@ lint:
 test:
 	$(PY) -m pytest tests/ -m ""
 
-# the default developer loop: lint + slow/chaos-marked tests deselected
+# the default developer loop: lint + slow/chaos/fuzz-marked tests deselected
 test-fast: lint
-	$(PY) -m pytest tests/ -m "not slow and not chaos"
+	$(PY) -m pytest tests/ -m "not slow and not chaos and not fuzz"
 
 # the robustness suite alone: deterministic fault injection, worker
 # kills, hang timeouts (see docs/robustness.md)
 test-chaos:
 	$(PY) -m pytest tests/ -m chaos
+
+# the differential-fuzzing suite, including the slow-marked
+# 1,000-kernel smoke sweep (see docs/fuzzing.md)
+test-fuzz:
+	$(PY) -m pytest tests/ -m fuzz
+
+# ad-hoc differential sweep; override e.g. `make fuzz SEED=7 COUNT=20000 JOBS=8`
+SEED ?= 42
+COUNT ?= 5000
+JOBS ?= 4
+fuzz:
+	$(PY) -c "from repro.cli import fuzz_main; import sys; sys.exit(fuzz_main(['--seed','$(SEED)','--count','$(COUNT)','--jobs','$(JOBS)']))"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -481,6 +481,206 @@ def bench_main(argv: list[str] | None = None) -> int:
     return 1 if engine.failure_log else 0
 
 
+def fuzz_main(argv: list[str] | None = None) -> int:
+    import contextlib
+
+    from .engine import CorpusEngine, use_engine
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="seeded kernel fuzzing with differential backend "
+                    "validation: generate a deterministic mutated-kernel "
+                    "corpus, fan it out over the model/mca/sim backends, "
+                    "and triage where they disagree (docs/fuzzing.md)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="corpus seed; the same (seed, count) always regenerates the "
+             "identical corpus and triage manifest (default: 0)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="number of fuzzed kernels to generate (default: 1000)",
+    )
+    parser.add_argument(
+        "--isa",
+        choices=("x86", "aarch64", "both"),
+        default="both",
+        help="restrict the corpus to one ISA's machines/personas "
+             "(default: both)",
+    )
+    parser.add_argument(
+        "--backends",
+        metavar="NAMES",
+        default="model,sim,mca",
+        help="comma-separated backends to cross-check (>= 2 of "
+             "model,mca,sim; default: all three)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative spread beyond which backend disagreement counts "
+             "as a divergence (default: %s)" % "0.25",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulator iterations per kernel (default: 60; mca/warmup "
+             "budgets derive from it exactly as for the paper corpus)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the sweep across N worker processes (default: 1; "
+             "the triage manifest is identical at any jobs count)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="memoize backend results in an on-disk cache rooted at DIR "
+             "(fuzz sweeps default to cache-less)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the triage report as a run-report manifest; diff "
+             "against a committed baseline with repro-report --check",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="divergences/clusters to show in the console summary "
+             "(default: 10)",
+    )
+    parser.add_argument(
+        "--error-policy",
+        choices=("fail_fast", "collect", "quarantine"),
+        default="collect",
+        dest="error_policy",
+        help="disposition of fuzzer-provoked unit failures (default: "
+             "collect — a crashing kernel never kills the sweep; "
+             "quarantine degrades to collect when no --cache is set)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        dest="max_retries",
+        help="re-attempts for transiently failed units (default: 2)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="unit_timeout",
+        help="per-attempt deadline for one work unit (default: none)",
+    )
+    args = parser.parse_args(argv)
+    if args.seed < 0:
+        parser.error("--seed must be >= 0")
+    if args.count < 1:
+        parser.error("--count must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.tolerance is not None and args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    if args.iterations is not None and args.iterations < 1:
+        parser.error("--iterations must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be positive")
+    backends = tuple(s.strip() for s in args.backends.split(",") if s.strip())
+
+    from .fuzz import (
+        DEFAULT_ITERATIONS,
+        DEFAULT_TOLERANCE,
+        build_triage_manifest,
+        generate_fuzz_corpus,
+        render_triage,
+        run_differential,
+    )
+    from .fuzz.triage import write_manifest
+    from .obs.progress import ProgressBar
+
+    try:
+        corpus = generate_fuzz_corpus(args.seed, args.count, isa=args.isa)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(
+        f"generated {len(corpus)} fuzzed kernels "
+        f"(seed {args.seed}, isa {args.isa})"
+    )
+    progress = ProgressBar.if_tty()
+    engine = CorpusEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        progress=progress,
+        error_policy=args.error_policy,
+        max_retries=args.max_retries,
+        unit_timeout=args.unit_timeout,
+    )
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_engine(engine))
+        if progress is not None:
+            stack.callback(progress.finish)
+        try:
+            result = run_differential(
+                corpus,
+                seed=args.seed,
+                backends=backends,
+                tolerance=(
+                    args.tolerance if args.tolerance is not None
+                    else DEFAULT_TOLERANCE
+                ),
+                iterations=(
+                    args.iterations if args.iterations is not None
+                    else DEFAULT_ITERATIONS
+                ),
+                engine=engine,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    manifest = build_triage_manifest(result, isa=args.isa)
+    print(render_triage(manifest, limit=args.top))
+    if args.jobs > 1 or args.cache:
+        print(f"[{engine.totals.summary()}]")
+    if args.report:
+        write_manifest(manifest, args.report)
+        print(f"[triage report written to {args.report}]")
+    if engine.failure_log:
+        print(
+            f"ERROR: {len(engine.failure_log)} work unit(s) failed "
+            f"(error_policy={args.error_policy}):",
+            file=sys.stderr,
+        )
+        for f in engine.failure_log[:20]:
+            print(f"  {f.summary()}", file=sys.stderr)
+        if len(engine.failure_log) > 20:
+            print(
+                f"  ... and {len(engine.failure_log) - 20} more",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def report_main(argv: list[str] | None = None) -> int:
     """``repro-report`` — diff two run-report manifests."""
     from .obs.report import diff_manifests, load_manifest

@@ -49,8 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #:     list carries ``None`` at failed indices.
 #: ``quarantine``
 #:     like ``collect``, but failed units are additionally remembered
-#:     (in memory, and on disk when a cache directory is configured) so
-#:     subsequent batches skip them without re-evaluating.
+#:     (in memory, persisted under ``<cache>/quarantine/``) so
+#:     subsequent batches skip them without re-evaluating.  Requires a
+#:     cache directory: a cache-less engine degrades the policy to
+#:     ``collect`` with a warning instead of keeping a skip-list that
+#:     could neither persist nor be inspected.
 ERROR_POLICIES = ("fail_fast", "collect", "quarantine")
 
 

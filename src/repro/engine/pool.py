@@ -420,8 +420,10 @@ class CorpusEngine:
         :class:`~.errors.UnitFailure` records on :attr:`failures`; the
         result list holds ``None`` at failed indices), or
         ``"quarantine"`` (``collect`` + failed units are skipped by
-        subsequent batches; persisted under ``<cache>/quarantine/``
-        when a cache directory is configured).
+        subsequent batches; the skip-list persists under
+        ``<cache>/quarantine/``).  ``quarantine`` requires a cache
+        directory; without one it degrades to ``collect`` with a
+        warning (cache-less fuzz sweeps hit this deliberately).
     max_retries / retry_backoff:
         Bounded retry for *transient* failures: up to ``max_retries``
         re-attempts, attempt *n* delayed ``retry_backoff * 2**(n-1)``
@@ -448,6 +450,18 @@ class CorpusEngine:
                 f"unknown error_policy {error_policy!r}; "
                 f"known: {ERROR_POLICIES}"
             )
+        if error_policy == "quarantine" and not cache_dir:
+            # the skip-list is keyed and persisted under the cache root;
+            # without one a quarantine could neither survive the engine
+            # nor be inspected/cleared from disk, so degrade rather than
+            # surprise cache-less sweeps (fuzzing defaults to no cache)
+            log.warning(
+                "quarantine error policy needs a cache directory for the "
+                "persistent skip-list; degrading to 'collect' (failures "
+                "are still isolated and reported, but not skipped by "
+                "later batches)"
+            )
+            error_policy = "collect"
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if unit_timeout is not None and unit_timeout <= 0:

@@ -1,0 +1,189 @@
+"""The seeded kernel fuzzer: deterministic corpus generation at scale.
+
+The paper validates on 416 hand-enumerated corpus blocks; the fuzzer
+turns the same code-generation machinery (:mod:`repro.kernels.codegen`
+under the toolchain personas) into an unbounded corpus.  Every
+:class:`FuzzedKernel` is a **pure function** of ``(seed, index)``: the
+base-point draw (machine, kernel, persona, optimization level,
+precision) and the :class:`~.mutations.MutationVector` both come from
+SHA-256 seed streams (:mod:`.rng`), and the assembly-level rewrites
+replay bit-identically from the same key.  Re-running a sweep with the
+same seed therefore regenerates the *identical* corpus — on any
+machine, at any ``--jobs``.
+
+``fuzz_kernel`` exposes the pure regeneration path directly: given the
+recorded coordinates and mutation vector of any corpus entry, it
+rebuilds the same assembly, which is what the property tests assert
+and what triage reproduction relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..kernels.codegen import generate_assembly
+from ..kernels.corpus import MACHINES
+from ..kernels.personas import OPT_LEVELS, PERSONAS, personas_for_isa
+from ..kernels.suite import KERNELS
+from .mutations import MutationVector, apply_mutations, draw_vector
+from .rng import SeedStream
+
+#: fuzzable ISAs (``"both"`` accepted by :func:`generate_fuzz_corpus`)
+FUZZ_ISAS = ("x86", "aarch64")
+
+
+@dataclass(frozen=True)
+class FuzzedKernel:
+    """One fuzzed corpus entry — plain data, cheap to pickle.
+
+    ``assembly`` is fully determined by the other fields; equality of
+    the coordinate tuple implies equality of the text (the regeneration
+    property tests pin this).
+    """
+
+    seed: int
+    index: int
+    machine: str
+    uarch: str
+    isa: str
+    kernel: str
+    persona: str
+    opt: str
+    precision: str
+    vector: MutationVector
+    assembly: str
+
+    @property
+    def signature(self) -> str:
+        """The mutation signature — the triage clustering key."""
+        return self.vector.signature
+
+    @property
+    def label(self) -> str:
+        """Stable unit label: coordinates + signature, no index, so a
+        kernel keeps its label across different sweep sizes."""
+        return (
+            f"fuzz/{self.machine}/{self.kernel}/{self.persona}/{self.opt}/"
+            f"{self.precision}/{self.signature}/i{self.index}"
+        )
+
+
+def fuzz_assembly(
+    seed: int,
+    index: int,
+    kernel: str,
+    persona: str,
+    opt: str,
+    uarch: str,
+    precision: str,
+    vector: MutationVector,
+) -> str:
+    """Regenerate one fuzzed block — pure in every argument.
+
+    Persona-level mutations (unroll/accumulator overrides) derive a
+    variant persona; assembly-level mutations rewrite the emitted text
+    under a stream keyed by the full coordinate tuple.
+    """
+    base_persona = PERSONAS[persona]
+    mutated = vector.mutated_persona(base_persona, opt)
+    asm = generate_assembly(kernel, mutated, opt, uarch, precision=precision)
+    stream = SeedStream(
+        "fuzz-apply", seed, index, kernel, persona, opt, uarch, precision,
+        vector.signature,
+    )
+    return apply_mutations(asm, base_persona.isa, vector, stream)
+
+
+def fuzz_kernel(
+    seed: int,
+    index: int,
+    *,
+    machine: str,
+    kernel: str,
+    persona: str,
+    opt: str,
+    precision: str = "dp",
+    vector: Optional[MutationVector] = None,
+) -> FuzzedKernel:
+    """Build one :class:`FuzzedKernel` from explicit coordinates."""
+    uarch, isa = MACHINES[machine]
+    if PERSONAS[persona].isa != isa:
+        raise ValueError(
+            f"persona {persona!r} targets {PERSONAS[persona].isa}, "
+            f"machine {machine!r} is {isa}"
+        )
+    vector = vector if vector is not None else MutationVector()
+    return FuzzedKernel(
+        seed=seed,
+        index=index,
+        machine=machine,
+        uarch=uarch,
+        isa=isa,
+        kernel=kernel,
+        persona=persona,
+        opt=opt,
+        precision=precision,
+        vector=vector,
+        assembly=fuzz_assembly(
+            seed, index, kernel, persona, opt, uarch, precision, vector
+        ),
+    )
+
+
+def _machine_pool(isa: str) -> list[str]:
+    if isa == "both":
+        return sorted(MACHINES)
+    if isa not in FUZZ_ISAS:
+        raise ValueError(f"unknown ISA {isa!r}; known: {FUZZ_ISAS + ('both',)}")
+    return sorted(m for m, (_, i) in MACHINES.items() if i == isa)
+
+
+def draw_fuzz_kernel(
+    seed: int,
+    index: int,
+    *,
+    machines: Sequence[str],
+    kernels: Sequence[str],
+) -> FuzzedKernel:
+    """Draw entry *index* of the seed's corpus — pure in ``(seed, index)``."""
+    stream = SeedStream("fuzz-draw", seed, index)
+    machine = stream.choice(machines)
+    _, isa = MACHINES[machine]
+    persona = stream.choice([p.name for p in personas_for_isa(isa)])
+    kernel = stream.choice(kernels)
+    opt = stream.choice(OPT_LEVELS)
+    precision = stream.choice(("dp", "dp", "dp", "sp"))  # paper corpus is dp
+    vector = draw_vector(stream)
+    return fuzz_kernel(
+        seed, index, machine=machine, kernel=kernel, persona=persona,
+        opt=opt, precision=precision, vector=vector,
+    )
+
+
+def generate_fuzz_corpus(
+    seed: int,
+    count: int,
+    *,
+    isa: str = "both",
+    machines: Optional[Iterable[str]] = None,
+    kernels: Optional[Iterable[str]] = None,
+) -> list[FuzzedKernel]:
+    """Generate the first *count* entries of seed's fuzz corpus.
+
+    The corpus is an indexed sequence, not a set: entry *i* depends
+    only on ``(seed, i)`` and the machine/kernel pools, so growing
+    ``count`` extends a corpus without changing its prefix — sweeps of
+    different sizes share cache entries and triage labels.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    pool = sorted(machines) if machines else _machine_pool(isa)
+    unknown = [m for m in pool if m not in MACHINES]
+    if unknown:
+        raise ValueError(f"unknown machine(s) {unknown}; known: {sorted(MACHINES)}")
+    names = sorted(kernels) if kernels else sorted(KERNELS)
+    return [
+        draw_fuzz_kernel(seed, i, machines=pool, kernels=names)
+        for i in range(count)
+    ]

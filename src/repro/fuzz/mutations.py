@@ -1,0 +1,311 @@
+"""The mutation catalog: composable, deterministic kernel mutations.
+
+A :class:`MutationVector` describes which mutations apply to one fuzzed
+kernel.  Mutations come in two layers:
+
+**Persona-level** (applied *before* emission, by deriving a variant
+:class:`~repro.kernels.personas.CompilerPersona`):
+
+``unroll``
+    Force the persona's unroll factor at the chosen optimization level
+    (1/2/4/8) — the register-allocation and addressing consequences
+    ripple through the whole emitted block.
+``accumulators``
+    Force the reduction accumulator count (1–4); the emitters clamp it
+    to the effective unroll, exactly as for the real personas.
+
+**Assembly-level** (applied *after* emission, as deterministic text
+rewrites of the loop body):
+
+``shuffle``
+    Fisher–Yates reorder of the body instructions (loop control stays
+    in place).  Models must agree on any dependency structure, not just
+    compiler-scheduled ones.
+``pressure``
+    Inject N register-to-register moves between existing vector
+    registers — extra live ranges and rename traffic, the
+    register-pressure stressor.
+``unfold_memory``
+    Addressing-mode rewrite: on x86, split folded memory operands of
+    arithmetic instructions into an explicit load + register operand
+    (what ``-mno-fold`` codegen would emit); on AArch64 NEON, rewrite
+    eligible ``ldr``/``str`` to their unscaled-offset ``ldur``/``stur``
+    forms.  SVE addressing has a single indexed form and is left alone.
+``zero_idioms``
+    Inject K same-register zeroing idioms (``vxorpd`` on x86, ``eor``
+    on AArch64) — dependency-breaking on x86 renamers, plain ALU work
+    on Arm; a known divergence hot spot between static models.
+
+Every rewrite is driven by a :class:`~repro.fuzz.rng.SeedStream`, so a
+mutated block is a pure function of ``(assembly, isa, vector, stream
+key)`` and regenerates bit-identically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .rng import SeedStream
+
+#: legal unroll-factor overrides (1 = force no unrolling)
+UNROLL_CHOICES = (1, 2, 4, 8)
+
+#: loop-control mnemonics: the contiguous tail of a block that
+#: mutations must never reorder or split (backward branch, trip-count
+#: compare/decrement, pointer/index bumps, SVE predicate maintenance)
+_CONTROL_MNEMONICS = {
+    # x86
+    "addq", "cmpq", "jb",
+    # aarch64 NEON
+    "add", "subs", "b.ne",
+    # aarch64 SVE
+    "incd", "incw", "whilelo", "b.any",
+}
+
+#: x86 arithmetic with a foldable memory operand: AT&T puts the memory
+#: operand first.  ``vmov*`` loads/stores are excluded — they *are* the
+#: unfolded form.
+_X86_FOLDED_RE = re.compile(
+    r"^(\s*)(v(?!mov)\w+(pd|ps|sd|ss))\s+"
+    r"(-?\d*\(%[a-z0-9]+(?:,%[a-z0-9]+,\d)?\)),\s*(.+)$"
+)
+
+_A64_LDR_RE = re.compile(r"^(\s*)(ldr|str)\s+(q\d+|d\d+|s\d+),\s*\[(\w+), #(\d+)\]$")
+
+
+@dataclass(frozen=True)
+class MutationVector:
+    """Which mutations apply to one fuzzed kernel (all composable).
+
+    ``None``/``0``/``False`` fields are identity; the all-identity
+    vector reproduces the persona's own code generation exactly.
+    """
+
+    unroll: Optional[int] = None
+    accumulators: Optional[int] = None
+    shuffle: bool = False
+    pressure: int = 0
+    unfold_memory: bool = False
+    zero_idioms: int = 0
+
+    def __post_init__(self):
+        if self.unroll is not None and self.unroll not in UNROLL_CHOICES:
+            raise ValueError(
+                f"unroll override must be one of {UNROLL_CHOICES}, "
+                f"got {self.unroll}"
+            )
+        if self.accumulators is not None and not 1 <= self.accumulators <= 4:
+            raise ValueError("accumulators override must be in [1, 4]")
+        if self.pressure < 0 or self.zero_idioms < 0:
+            raise ValueError("pressure/zero_idioms must be >= 0")
+
+    @property
+    def signature(self) -> str:
+        """Stable string form — the triage report's clustering key."""
+        parts = []
+        if self.unroll is not None:
+            parts.append(f"unroll={self.unroll}")
+        if self.accumulators is not None:
+            parts.append(f"acc={self.accumulators}")
+        if self.shuffle:
+            parts.append("shuffle")
+        if self.pressure:
+            parts.append(f"press={self.pressure}")
+        if self.unfold_memory:
+            parts.append("addr")
+        if self.zero_idioms:
+            parts.append(f"zero={self.zero_idioms}")
+        return "+".join(parts) or "identity"
+
+    @classmethod
+    def from_signature(cls, signature: str) -> "MutationVector":
+        """Parse a :attr:`signature` back into a vector (triage round-trip)."""
+        if signature == "identity":
+            return cls()
+        kwargs: dict = {}
+        for part in signature.split("+"):
+            if part == "shuffle":
+                kwargs["shuffle"] = True
+            elif part == "addr":
+                kwargs["unfold_memory"] = True
+            elif part.startswith("unroll="):
+                kwargs["unroll"] = int(part[7:])
+            elif part.startswith("acc="):
+                kwargs["accumulators"] = int(part[4:])
+            elif part.startswith("press="):
+                kwargs["pressure"] = int(part[6:])
+            elif part.startswith("zero="):
+                kwargs["zero_idioms"] = int(part[5:])
+            else:
+                raise ValueError(f"unknown mutation signature part {part!r}")
+        return cls(**kwargs)
+
+    def mutated_persona(self, persona, opt: str):
+        """The persona variant carrying this vector's pre-emission knobs."""
+        changes: dict = {}
+        if self.unroll is not None:
+            changes["unroll"] = self.unroll
+        if self.accumulators is not None:
+            changes["n_accumulators"] = self.accumulators
+        return persona.with_config(opt, **changes) if changes else persona
+
+
+def draw_vector(stream: SeedStream) -> MutationVector:
+    """Draw one mutation vector; consumes a fixed number of draws.
+
+    Each mutation switches on independently, so identity and
+    heavily-composed vectors both occur.  The draw *count* is constant
+    regardless of which branches hit, keeping downstream draws aligned
+    however the vector comes out.
+    """
+    unroll = stream.choice(UNROLL_CHOICES)
+    use_unroll = stream.chance(0.45)
+    acc = stream.randint(1, 4)
+    use_acc = stream.chance(0.25)
+    shuffle = stream.chance(0.5)
+    pressure = stream.randint(1, 4)
+    use_pressure = stream.chance(0.4)
+    unfold = stream.chance(0.4)
+    zeros = stream.randint(1, 2)
+    use_zeros = stream.chance(0.35)
+    return MutationVector(
+        unroll=unroll if use_unroll else None,
+        accumulators=acc if use_acc else None,
+        shuffle=shuffle,
+        pressure=pressure if use_pressure else 0,
+        unfold_memory=unfold,
+        zero_idioms=zeros if use_zeros else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assembly-level rewrites
+# ---------------------------------------------------------------------------
+
+def split_block(asm: str) -> tuple[str, list[str], list[str]]:
+    """Split an emitted block into (label line, body, control tail).
+
+    The tail is the maximal run of trailing loop-control instructions
+    (:data:`_CONTROL_MNEMONICS`); mutations only ever touch the body.
+    """
+    lines = [ln for ln in asm.splitlines() if ln.strip()]
+    if not lines or not lines[0].strip().endswith(":"):
+        raise ValueError("expected a label-led loop block")
+    label, rest = lines[0], lines[1:]
+    tail_start = len(rest)
+    while tail_start > 0:
+        mnemonic = rest[tail_start - 1].split()[0]
+        if mnemonic not in _CONTROL_MNEMONICS:
+            break
+        tail_start -= 1
+    return label, rest[:tail_start], rest[tail_start:]
+
+
+def _join(label: str, body: list[str], tail: list[str]) -> str:
+    return "\n".join([label, *body, *tail]) + "\n"
+
+
+def _x86_width_class(body: list[str]) -> str:
+    """Widest x86 vector register class used in the body."""
+    text = "\n".join(body)
+    for cls in ("zmm", "ymm"):
+        if f"%{cls}" in text:
+            return cls
+    return "xmm"
+
+
+def _a64_style(body: list[str]) -> str:
+    """``"sve"`` | ``"neon"`` | ``"scalar"`` from the registers in use."""
+    text = "\n".join(body)
+    if re.search(r"\bz\d+\.", text):
+        return "sve"
+    if re.search(r"\bv\d+\.", text) or re.search(r"\bq\d+\b", text):
+        return "neon"
+    return "scalar"
+
+
+def _pressure_line(isa: str, body: list[str], stream: SeedStream) -> str:
+    """One injected register-to-register move (a fresh live range)."""
+    src, dst = stream.randint(0, 15), stream.randint(0, 15)
+    if isa == "x86":
+        cls = _x86_width_class(body)
+        return f"    vmovapd %{cls}{src}, %{cls}{dst}"
+    style = _a64_style(body)
+    if style == "sve":
+        return f"    mov z{dst}.d, z{src}.d"
+    if style == "neon":
+        return f"    mov v{dst}.16b, v{src}.16b"
+    return f"    fmov d{dst}, d{src}"
+
+
+def _zero_idiom_line(isa: str, body: list[str], stream: SeedStream) -> str:
+    """One injected same-register zeroing idiom."""
+    r = stream.randint(0, 15)
+    if isa == "x86":
+        cls = _x86_width_class(body)
+        return f"    vxorpd %{cls}{r}, %{cls}{r}, %{cls}{r}"
+    style = _a64_style(body)
+    if style == "sve":
+        return f"    eor z{r}.d, z{r}.d, z{r}.d"
+    return f"    eor v{r}.16b, v{r}.16b, v{r}.16b"
+
+
+def _unfold_x86_line(line: str, stream: SeedStream) -> list[str]:
+    """Split a folded memory operand into load + register arithmetic."""
+    m = _X86_FOLDED_RE.match(line)
+    if m is None or not stream.chance(0.5):
+        return [line]
+    indent, mnemonic, sfx, mem, rest = m.groups()
+    dest = rest.split(",")[-1].strip().lstrip("%")
+    cls = "zmm" if "zmm" in dest else ("ymm" if "ymm" in dest else "xmm")
+    scratch = f"{cls}{stream.randint(4, 7)}"
+    mov = {"pd": "vmovupd", "ps": "vmovups", "sd": "vmovsd", "ss": "vmovss"}[sfx]
+    return [
+        f"{indent}{mov} {mem}, %{scratch}",
+        f"{indent}{mnemonic} %{scratch}, {rest}",
+    ]
+
+
+def _unscale_a64_line(line: str, stream: SeedStream) -> list[str]:
+    """Rewrite an eligible ``ldr``/``str`` to ``ldur``/``stur``."""
+    m = _A64_LDR_RE.match(line)
+    if m is None or not stream.chance(0.5):
+        return [line]
+    indent, mnemonic, reg, base, disp = m.groups()
+    if not 0 < int(disp) <= 255:  # unscaled offsets are 9-bit signed
+        return [line]
+    un = "ldur" if mnemonic == "ldr" else "stur"
+    return [f"{indent}{un} {reg}, [{base}, #{disp}]"]
+
+
+def apply_mutations(
+    asm: str, isa: str, vector: MutationVector, stream: SeedStream
+) -> str:
+    """Apply the vector's assembly-level mutations to one block.
+
+    Rewrites run in a fixed order (shuffle → addressing → pressure →
+    zero idioms) and draw from *stream* in a fixed pattern, so the
+    output is a pure function of the inputs.
+    """
+    if not (
+        vector.shuffle
+        or vector.pressure
+        or vector.unfold_memory
+        or vector.zero_idioms
+    ):
+        return asm
+    label, body, tail = split_block(asm)
+    if vector.shuffle:
+        stream.shuffle(body)
+    if vector.unfold_memory:
+        rewrite = _unfold_x86_line if isa == "x86" else _unscale_a64_line
+        body = [out for line in body for out in rewrite(line, stream)]
+    for _ in range(vector.pressure):
+        pos = stream.randint(0, len(body))
+        body.insert(pos, _pressure_line(isa, body, stream))
+    for _ in range(vector.zero_idioms):
+        pos = stream.randint(0, len(body))
+        body.insert(pos, _zero_idiom_line(isa, body, stream))
+    return _join(label, body, tail)

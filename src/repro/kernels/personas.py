@@ -28,6 +28,7 @@ default ``-ffp-contract=fast``/``on`` behaviour for these kernels).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 #: the paper's optimization levels
@@ -71,6 +72,20 @@ class CompilerPersona:
     def width_for(self, uarch: str) -> str:
         """Vector register class for an x86 target."""
         return self.vector_width.get(uarch, "ymm")
+
+    def with_config(self, opt: str, **changes) -> "CompilerPersona":
+        """A variant persona with one optimization level's knobs edited.
+
+        This is how the fuzzer (:mod:`repro.fuzz`) composes mutations
+        onto the real toolchain personas — e.g. forcing a different
+        unroll factor or accumulator count at one level while keeping
+        every other habit of the persona intact.  The persona is
+        immutable; the variant is a new instance.
+        """
+        cfg = dataclasses.replace(self.config(opt), **changes)
+        configs = dict(self.configs)
+        configs[opt] = cfg
+        return dataclasses.replace(self, configs=configs)
 
 
 PERSONAS: dict[str, CompilerPersona] = {

@@ -29,7 +29,7 @@ SCHEMA = "repro-run-report/1"
 #: against the final path component of the metric, first match wins.
 _LOWER_IS_BETTER = (
     "rpe", "mape", "error", "off_by", "seconds", "misses", "violations",
-    "skipped", "failed", "retries",
+    "skipped", "failed", "retries", "diverg", "degraded",
 )
 _HIGHER_IS_BETTER = (
     "right_side", "within_", "hit_rate", "accuracy", "gflops", "ipc",

@@ -274,11 +274,23 @@ class TestQuarantine:
         e.run(_units("errtest_bad", 2))  # re-evaluated, re-quarantined
         assert all(f.error_class == "ValueError" for f in e.failures)
 
-    def test_memory_only_quarantine_without_cache(self):
-        e = CorpusEngine(jobs=1, error_policy="quarantine", retry_backoff=0.0)
+    def test_cacheless_quarantine_degrades_to_collect(self, caplog):
+        # no cache root -> no persistent skip-list; the policy degrades
+        # to collect (with a warning) instead of keeping quarantine
+        # state that could neither persist nor be inspected
+        with caplog.at_level("WARNING", logger="repro.engine.pool"):
+            e = CorpusEngine(
+                jobs=1, error_policy="quarantine", retry_backoff=0.0
+            )
+        assert e.error_policy == "collect"
+        assert any(
+            "degrading to 'collect'" in r.message for r in caplog.records
+        )
         e.run(_units("errtest_bad", 1))
         e.run(_units("errtest_bad", 1))
-        assert e.failures[0].error_class == "Quarantined"
+        # both batches re-evaluate: failures are isolated, never skipped
+        assert e.failures[0].error_class == "ValueError"
+        assert all(f.error_class == "ValueError" for f in e.failure_log)
 
 
 class TestDegradedCorpus:

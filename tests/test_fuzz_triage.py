@@ -1,0 +1,99 @@
+"""Golden-snapshot gate for the fuzz triage report (ISSUE 6 satellite).
+
+A pinned-seed 30-kernel differential sweep is triaged and the complete
+manifest — divergence ranking order included — is compared against
+``tests/golden/fuzz_triage.json``.  Any codegen, mutation-catalog,
+backend, or machine-model edit that moves a fuzzed prediction fails
+here, loudly.  After an *intentional* change, regenerate with::
+
+    PYTHONPATH=src python tests/test_fuzz_triage.py --regen
+
+Marked ``fuzz`` (tier-1, excluded from ``make test-fast``).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import CorpusEngine
+from repro.fuzz import (
+    build_triage_manifest,
+    generate_fuzz_corpus,
+    manifest_digest,
+    run_differential,
+)
+
+pytestmark = pytest.mark.fuzz
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fuzz_triage.json"
+
+#: pinned sweep coordinates — change them only with a --regen
+PIN = dict(seed=1337, count=30, iterations=20, tolerance=0.25)
+
+
+def compute_manifest() -> dict:
+    corpus = generate_fuzz_corpus(PIN["seed"], PIN["count"])
+    result = run_differential(
+        corpus,
+        seed=PIN["seed"],
+        tolerance=PIN["tolerance"],
+        iterations=PIN["iterations"],
+        engine=CorpusEngine(jobs=1, error_policy="collect"),
+    )
+    return build_triage_manifest(result)
+
+
+class TestGoldenTriage:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return compute_manifest()
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as fh:
+            return json.load(fh)
+
+    def test_manifest_matches_golden(self, manifest, golden):
+        assert manifest == golden, (
+            "fuzz triage drifted from tests/golden/fuzz_triage.json; if "
+            "the change is intentional, regenerate with "
+            "`PYTHONPATH=src python tests/test_fuzz_triage.py --regen`"
+        )
+
+    def test_digest_matches_golden(self, manifest, golden):
+        assert manifest_digest(manifest) == manifest_digest(golden)
+
+    def test_ranking_order_is_stable(self, golden):
+        divs = golden["benchmarks"]["fuzz"]["divergences"]
+        assert divs, "the pinned seed must expose divergences"
+        keys = [(-d["spread"], d["label"]) for d in divs]
+        assert keys == sorted(keys)
+
+    def test_report_check_gates_on_new_divergences(self, golden, tmp_path):
+        # the committed manifest is a repro-report baseline: a sweep
+        # with one more divergence must fail the --check gate
+        from repro.cli import report_main
+
+        worse = json.loads(json.dumps(golden))
+        stats = worse["benchmarks"]["fuzz"]["stats"]
+        stats["divergent"] += 1
+        stats["divergence_rate"] = round(
+            stats["divergent"] / stats["checked"], 9
+        )
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text(json.dumps(golden))
+        cur.write_text(json.dumps(worse))
+        assert report_main([str(base), str(cur), "--check"]) != 0
+        # and the identical manifest passes
+        cur.write_text(json.dumps(golden))
+        assert report_main([str(base), str(cur), "--check"]) == 0
+
+
+if __name__ == "__main__" and "--regen" in sys.argv:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(compute_manifest(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"regenerated {GOLDEN_PATH}")
