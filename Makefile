@@ -5,7 +5,7 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint test test-fast test-chaos test-fuzz fuzz bench report verify all-figures trace-demo clean
+.PHONY: install lint test test-fast test-chaos test-fuzz fuzz bench report verify perf perf-check all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,8 +51,20 @@ bench:
 report:
 	$(PY) -c "from repro.bench.report import generate_report; print(generate_report('REPORT.md'))"
 
-verify:
+# model self-check + the standing perf gate against the committed
+# BENCH_perf.json baseline (see docs/observability.md)
+verify: perf-check
 	$(PY) -c "from repro.cli import bench_main; bench_main(['verify'])"
+
+# regenerate the committed perf baseline (run on the machine that will
+# later gate with perf-check; the manifest records best-of-repeats)
+perf:
+	$(PY) -c "from repro.cli import perf_main; import sys; sys.exit(perf_main([]))"
+
+# gate: re-run the suite with the baseline's config, fail on wall-clock
+# or attribution-share regressions past the noise floor
+perf-check:
+	$(PY) -c "from repro.cli import perf_main; import sys; sys.exit(perf_main(['--check']))"
 
 all-figures:
 	$(PY) -c "from repro.cli import bench_main; bench_main(['all'])"

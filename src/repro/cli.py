@@ -282,6 +282,20 @@ def bench_main(argv: list[str] | None = None) -> int:
              "with repro-report",
     )
     parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile the run (hierarchical phase timers, per-cycle "
+             "port/ROB attribution) and write the snapshot JSON to "
+             "PATH; also prints the ranked attribution report",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="with profiling on, additionally write the phase tree in "
+             "collapsed-stack format (feed to flamegraph.pl or "
+             "speedscope)",
+    )
+    parser.add_argument(
         "--backends",
         metavar="NAMES",
         help="comma-separated subset of fig3's prediction backends "
@@ -359,6 +373,7 @@ def bench_main(argv: list[str] | None = None) -> int:
 
         registry_since = get_registry().snapshot()
     tracer = None
+    profiler = None
     with contextlib.ExitStack() as stack:
         stack.enter_context(use_engine(engine))
         if progress is not None:
@@ -368,6 +383,11 @@ def bench_main(argv: list[str] | None = None) -> int:
 
             tracer = Tracer()
             stack.enter_context(use_tracer(tracer))
+        if args.profile or args.flamegraph:
+            from .obs.prof import PhaseProfiler, use_profiler
+
+            profiler = PhaseProfiler()
+            stack.enter_context(use_profiler(profiler))
         for name in names:
             t0 = time.perf_counter()
             try:
@@ -428,6 +448,14 @@ def bench_main(argv: list[str] | None = None) -> int:
             other_data={"command": "repro-bench", "experiments": names},
         )
         print(f"[engine trace written to {args.trace}]")
+    if profiler is not None:
+        print(profiler.report(top=8))
+        if args.profile:
+            profiler.write(args.profile)
+            print(f"[profile written to {args.profile}]")
+        if args.flamegraph:
+            profiler.write_collapsed(args.flamegraph)
+            print(f"[collapsed stacks written to {args.flamegraph}]")
     if args.json:
         import json
 
@@ -714,11 +742,22 @@ def report_main(argv: list[str] | None = None) -> int:
              "runtime regression (default: 0.25)",
     )
     parser.add_argument(
+        "--min-runtime-seconds",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        dest="min_runtime_seconds",
+        help="noise floor: wall times below this never count as "
+             "runtime regressions (default: 1.0)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="additionally dump the findings as JSON",
     )
     args = parser.parse_args(argv)
+    if args.min_runtime_seconds < 0:
+        parser.error("--min-runtime-seconds must be >= 0")
 
     try:
         baseline = load_manifest(args.baseline)
@@ -731,6 +770,7 @@ def report_main(argv: list[str] | None = None) -> int:
         current,
         accuracy_tolerance=args.accuracy_tolerance,
         runtime_tolerance=args.runtime_tolerance,
+        min_runtime_seconds=args.min_runtime_seconds,
     )
     print(diff.render())
     if args.json:
@@ -750,6 +790,177 @@ def report_main(argv: list[str] | None = None) -> int:
     if args.check and not diff.ok:
         return 1
     return 0
+
+
+def perf_main(argv: list[str] | None = None) -> int:
+    """``repro-perf`` — run the standing perf suite / gate on a baseline."""
+    from .bench.perf import (
+        CASES,
+        DEFAULT_BASELINE,
+        DEFAULT_MIN_RUNTIME_SECONDS,
+        DEFAULT_REPEATS,
+        DEFAULT_RUNTIME_TOLERANCE,
+        render_suite,
+        run_suite,
+    )
+    from .obs.report import diff_manifests, load_manifest, write_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="deterministic performance-baseline suite: fig3 "
+                    "cold/warm, lowering throughput, the simulator hot "
+                    "loop, and a seeded fuzz sweep — with profiler "
+                    "attribution shares in every record",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the suite with the baseline's configuration and "
+             "exit nonzero on wall-clock or attribution regressions "
+             "(the baseline file is never rewritten)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=DEFAULT_BASELINE,
+        help=f"baseline manifest for --check (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="where to write the fresh manifest (default: the baseline "
+             "path, or only printed in --check mode)",
+    )
+    parser.add_argument(
+        "--cases",
+        metavar="NAMES",
+        help=f"comma-separated subset of the cases (default: all; "
+             f"known: {', '.join(CASES)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink every case (~10x faster; smoke tests and quick "
+             "local gates — baselines and checks must agree on this)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"runs per case, best (minimum) wall time wins "
+             f"(default: {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--runtime-tolerance",
+        type=float,
+        default=DEFAULT_RUNTIME_TOLERANCE,
+        metavar="REL",
+        help="relative growth tolerated on wall times and stats before "
+             f"--check flags a regression (default: "
+             f"{DEFAULT_RUNTIME_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--min-runtime-seconds",
+        type=float,
+        default=DEFAULT_MIN_RUNTIME_SECONDS,
+        metavar="SECONDS",
+        dest="min_runtime_seconds",
+        help="noise floor: case wall times below this never regress "
+             f"(default: {DEFAULT_MIN_RUNTIME_SECONDS})",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        dest="inject_slowdown",
+        help="add artificial seconds to every measured case — proves "
+             "the --check gate fails when it should (self-test hook)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    cases = None
+    if args.cases:
+        cases = [s.strip() for s in args.cases.split(",") if s.strip()]
+        unknown = [c for c in cases if c not in CASES]
+        if unknown:
+            parser.error(
+                f"unknown case(s) {', '.join(unknown)}; known: "
+                f"{', '.join(CASES)}"
+            )
+
+    baseline = None
+    quick = args.quick
+    repeats = args.repeats
+    if args.check:
+        try:
+            baseline = load_manifest(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        # the comparison is only meaningful on the baseline's own
+        # workload; explicit flags still override
+        cfg = baseline.get("config", {})
+        quick = quick or bool(cfg.get("quick", False))
+        if repeats is None:
+            repeats = int(cfg.get("repeats", DEFAULT_REPEATS))
+        if cases is None and cfg.get("cases"):
+            cases = list(cfg["cases"])
+    if repeats is None:
+        repeats = DEFAULT_REPEATS
+
+    mode = "check against " + args.baseline if args.check else "baseline run"
+    print(
+        f"repro-perf: {mode} "
+        f"(cases={','.join(cases) if cases else 'all'} "
+        f"quick={quick} repeats={repeats})"
+    )
+    try:
+        manifest = run_suite(
+            cases=cases,
+            quick=quick,
+            repeats=repeats,
+            inject_slowdown=args.inject_slowdown,
+            echo=lambda msg: print(msg, flush=True),
+        )
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    print(render_suite(manifest))
+
+    if args.out:
+        write_manifest(manifest, args.out)
+        print(f"[perf manifest written to {args.out}]")
+    elif not args.check:
+        write_manifest(manifest, args.baseline)
+        print(f"[perf baseline written to {args.baseline}]")
+
+    if not args.check:
+        return 0
+    if args.cases:
+        # a targeted subset gate compares only what it ran — don't flag
+        # the deliberately skipped cases as missing
+        baseline = dict(baseline)
+        baseline["benchmarks"] = {
+            name: rec
+            for name, rec in baseline.get("benchmarks", {}).items()
+            if name in manifest["benchmarks"]
+        }
+    diff = diff_manifests(
+        baseline,
+        manifest,
+        # one relative tolerance for everything: deterministic work.*
+        # counters pass it trivially, throughputs and attribution
+        # shares get the same noise allowance as wall times
+        accuracy_tolerance=args.runtime_tolerance,
+        runtime_tolerance=args.runtime_tolerance,
+        min_runtime_seconds=args.min_runtime_seconds,
+    )
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 def _jsonable(obj):

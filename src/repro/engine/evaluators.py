@@ -116,6 +116,18 @@ def _lowered(p: dict):
     return lower(p["assembly"], _model_from_params(p))
 
 
+def _predict_phase(name: str):
+    """Profiler phase around one backend prediction (no-op when off)."""
+    import contextlib
+
+    from ..obs.prof import active_profiler
+
+    prof = active_profiler()
+    if prof is not None and prof.enabled:
+        return prof.phase(f"predict/{name}")
+    return contextlib.nullcontext()
+
+
 def _corpus_backend_opts(iterations: int) -> dict[str, dict[str, Any]]:
     """The per-backend options of the Fig. 3 corpus triple.
 
@@ -144,7 +156,8 @@ def _eval_corpus(p: dict) -> dict[str, Any]:
     backend_errors: dict[str, str] = {}
     for name in names:
         try:
-            r = get_backend(name).predict(block, **opts[name])
+            with _predict_phase(name):
+                r = get_backend(name).predict(block, **opts[name])
         except Exception as exc:
             if not _PARTIAL_RESULTS:
                 raise
@@ -173,7 +186,8 @@ def _eval_predict(p: dict) -> dict[str, Any]:
     from ..backends import get_backend
 
     block = _lowered(p)
-    r = get_backend(p["backend"]).predict(block, **(p.get("opts") or {}))
+    with _predict_phase(p["backend"]):
+        r = get_backend(p["backend"]).predict(block, **(p.get("opts") or {}))
     out: dict[str, Any] = {
         "backend": r.backend,
         "version": r.version,
@@ -191,12 +205,14 @@ def _eval_analyze_simulate(p: dict) -> dict[str, Any]:
     from ..backends import get_backend
 
     block = _lowered(p)
-    ana = get_backend("model").predict(block)
-    meas = get_backend("sim").predict(
-        block,
-        iterations=int(p["iterations"]),
-        warmup=int(p["warmup"]),
-    )
+    with _predict_phase("model"):
+        ana = get_backend("model").predict(block)
+    with _predict_phase("sim"):
+        meas = get_backend("sim").predict(
+            block,
+            iterations=int(p["iterations"]),
+            warmup=int(p["warmup"]),
+        )
     return {
         "prediction": ana.cycles_per_iteration,
         "measurement": meas.cycles_per_iteration,
@@ -208,11 +224,13 @@ def _eval_analyze_simulate(p: dict) -> dict[str, Any]:
 def _eval_simulate(p: dict) -> dict[str, Any]:
     from ..backends import get_backend
 
-    r = get_backend("sim").predict(
-        _lowered(p),
-        iterations=int(p["iterations"]),
-        warmup=int(p["warmup"]),
-    )
+    block = _lowered(p)
+    with _predict_phase("sim"):
+        r = get_backend("sim").predict(
+            block,
+            iterations=int(p["iterations"]),
+            warmup=int(p["warmup"]),
+        )
     sim = r.detail
     return {
         "cycles_per_iteration": sim.cycles_per_iteration,
@@ -225,12 +243,14 @@ def _eval_simulate(p: dict) -> dict[str, Any]:
 def _eval_mca(p: dict) -> dict[str, Any]:
     from ..backends import get_backend
 
-    r = get_backend("mca").predict(
-        _lowered(p),
-        iterations=int(p["iterations"]),
-        warmup=int(p["warmup"]),
-        sched=p.get("sched"),
-    )
+    block = _lowered(p)
+    with _predict_phase("mca"):
+        r = get_backend("mca").predict(
+            block,
+            iterations=int(p["iterations"]),
+            warmup=int(p["warmup"]),
+            sched=p.get("sched"),
+        )
     return {"cycles_per_iteration": r.cycles_per_iteration}
 
 

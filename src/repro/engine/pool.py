@@ -188,9 +188,17 @@ class UnitEvaluationError(RuntimeError):
 #: (and set directly around the serial path)
 _WORKER_TIMEOUT: Optional[float] = None
 
+#: when True, every unit attempt runs under a fresh per-unit profiler
+#: whose snapshot is shipped back with the result (set by the pool
+#: initializer / serial context iff the parent has an enabled profiler)
+_WORKER_PROFILING = False
+
 
 def _worker_init(
-    plan, unit_timeout: Optional[float], partial_results: bool
+    plan,
+    unit_timeout: Optional[float],
+    partial_results: bool,
+    profiling: bool = False,
 ) -> None:
     """Pool-worker initializer: install the ambient engine context.
 
@@ -198,12 +206,19 @@ def _worker_init(
     a crash — so fault plans, deadlines, and the degradation flag
     survive worker churn and do not depend on the fork start method.
     """
-    global _WORKER_TIMEOUT
+    global _WORKER_TIMEOUT, _WORKER_PROFILING
     _WORKER_TIMEOUT = unit_timeout
+    _WORKER_PROFILING = bool(profiling)
     from .. import faults
 
     faults.set_active_plan(plan)
     set_partial_results(partial_results)
+    # a forked worker inherits the parent's ambient profiler object;
+    # recording into that copy would be silently discarded, so clear it
+    # — units profile into fresh per-attempt instances instead
+    from ..obs.prof import set_active_profiler
+
+    set_active_profiler(None)
 
 
 @contextlib.contextmanager
@@ -239,28 +254,44 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
 
 def _evaluate_task(
     task: tuple[int, WorkUnit, int],
-) -> tuple[int, str, Any, float]:
+) -> tuple[int, str, Any, float, Optional[dict]]:
     """Worker entry point: one attempt at one unit; never raises.
 
-    Returns ``(index, status, payload, seconds)`` — status ``"ok"``
-    (payload is the result dict) or ``"err"`` (payload is an
+    Returns ``(index, status, payload, seconds, profile)`` — status
+    ``"ok"`` (payload is the result dict) or ``"err"`` (payload is an
     :func:`~.errors.failure_payload` dict).  Exceptions are flattened
     to plain data *before* crossing the pickle boundary: an unpicklable
     exception in the pool's result handler would deadlock the batch.
+
+    With ``_WORKER_PROFILING`` on, the attempt runs under a **fresh**
+    :class:`~repro.obs.prof.PhaseProfiler` and its plain-dict snapshot
+    rides back as ``profile`` — the parent absorbs snapshots in
+    submission order, so merged attribution does not depend on which
+    worker ran what (and the deterministic simulated-cycle records are
+    bit-identical to a serial run).
     """
     idx, unit, attempt = task
     from .. import faults
 
     plan = faults.active_plan()
     t0 = time.perf_counter()
+    snap: Optional[dict] = None
     try:
         with _deadline(_WORKER_TIMEOUT):
             if plan is not None:
                 plan.fire_worker_site(unit.label or unit.kind, attempt)
-            result = evaluate(unit.kind, unit.params)
+            if _WORKER_PROFILING:
+                from ..obs.prof import PhaseProfiler, use_profiler
+
+                unit_prof = PhaseProfiler()
+                with use_profiler(unit_prof):
+                    result = evaluate(unit.kind, unit.params)
+                snap = unit_prof.snapshot()
+            else:
+                result = evaluate(unit.kind, unit.params)
     except Exception as exc:
-        return idx, "err", failure_payload(exc), time.perf_counter() - t0
-    return idx, "ok", result, time.perf_counter() - t0
+        return idx, "err", failure_payload(exc), time.perf_counter() - t0, None
+    return idx, "ok", result, time.perf_counter() - t0, snap
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -330,7 +361,7 @@ class _WorkerPool:
         self,
         tasks: Sequence[tuple[int, WorkUnit, int]],
         stall_timeout: Optional[float] = None,
-    ) -> Iterator[tuple[int, str, Any, float]]:
+    ) -> Iterator[tuple[int, str, Any, float, Optional[dict]]]:
         """Run one round of attempts, yielding outcomes as they land.
 
         Lost tasks surface as status ``"crash"`` (a worker died with
@@ -356,7 +387,7 @@ class _WorkerPool:
                         "retrying on respawned capacity", len(remaining),
                     )
                     for idx in sorted(remaining):
-                        yield idx, "crash", None, 0.0
+                        yield idx, "crash", None, 0.0, None
                     return
                 if (
                     stall_timeout is not None
@@ -369,13 +400,13 @@ class _WorkerPool:
                     )
                     self.respawn()
                     for idx in sorted(remaining):
-                        yield idx, "stall", None, 0.0
+                        yield idx, "stall", None, 0.0, None
                     return
                 continue
             except (OSError, EOFError):  # pragma: no cover - torn pipe
                 self.respawn()
                 for idx in sorted(remaining):
-                    yield idx, "crash", None, 0.0
+                    yield idx, "crash", None, 0.0, None
                 return
             remaining.discard(rec[0])
             last_result = time.monotonic()
@@ -388,7 +419,7 @@ class _WorkerPool:
 def _dispatch_serial(
     tasks: Sequence[tuple[int, WorkUnit, int]],
     stall_timeout: Optional[float] = None,
-) -> Iterator[tuple[int, str, Any, float]]:
+) -> Iterator[tuple[int, str, Any, float, Optional[dict]]]:
     """The inline (``jobs=1``) dispatch path — same contract, no pool."""
     for task in tasks:
         yield _evaluate_task(task)
@@ -512,6 +543,10 @@ class CorpusEngine:
 
             tracer = active_tracer()
         tracing = tracer is not None and tracer.enabled
+        from ..obs.prof import active_profiler
+
+        prof = active_profiler()
+        profiling = prof is not None and prof.enabled
         if tracing:
             from ..obs.trace import (
                 PID_ENGINE,
@@ -530,52 +565,68 @@ class CorpusEngine:
         caching = self.cache is not None
         quarantining = self.error_policy == "quarantine"
         corrupt0 = self.cache.stats.corrupt if caching else 0
-        for i, unit in enumerate(units):
-            key = (
-                cache_key(unit, model_digests)
-                if caching or quarantining
-                else None
-            )
-            if quarantining and key in self._quarantined:
-                info = self._quarantined[key]
-                failure = UnitFailure(
-                    index=i, unit=unit, attempts=0,
-                    error_class="Quarantined", kind="permanent",
-                    message=(
-                        "skipped: unit is quarantined after an earlier "
-                        f"{info.get('error_class', 'failure')}"
-                    ),
+        lookup_cm = (
+            prof.phase("engine/cache_lookup")
+            if profiling
+            else contextlib.nullcontext()
+        )
+        with lookup_cm:
+            for i, unit in enumerate(units):
+                key = (
+                    cache_key(unit, model_digests)
+                    if caching or quarantining
+                    else None
                 )
-                outcomes[i] = UnitOutcome(i, unit, False, 0.0, None, failure)
-                batch_failures.append(failure)
-                metrics.failed += 1
-                self._emit(unit, i, False, 0.0, len(units), failed=True)
-                continue
-            hit = self.cache.get(key) if caching else None
-            if hit is not None:
-                results[i] = hit
-                outcomes[i] = UnitOutcome(i, unit, True, 0.0, hit)
-                metrics.cache_hits += 1
-                if tracing:
-                    tracer.instant(
-                        f"cache-hit:{unit.label or unit.kind}",
-                        tracer.now_us(), PID_ENGINE, TID_ENGINE_CONTROL,
-                        cat="cache", args={"index": i},
+                if quarantining and key in self._quarantined:
+                    info = self._quarantined[key]
+                    failure = UnitFailure(
+                        index=i, unit=unit, attempts=0,
+                        error_class="Quarantined", kind="permanent",
+                        message=(
+                            "skipped: unit is quarantined after an earlier "
+                            f"{info.get('error_class', 'failure')}"
+                        ),
                     )
-                self._emit(unit, i, True, 0.0, len(units))
-            else:
-                pending.append((i, unit, key))
+                    outcomes[i] = UnitOutcome(i, unit, False, 0.0, None, failure)
+                    batch_failures.append(failure)
+                    metrics.failed += 1
+                    self._emit(unit, i, False, 0.0, len(units), failed=True)
+                    continue
+                hit = self.cache.get(key) if caching else None
+                if hit is not None:
+                    results[i] = hit
+                    outcomes[i] = UnitOutcome(i, unit, True, 0.0, hit)
+                    metrics.cache_hits += 1
+                    if tracing:
+                        tracer.instant(
+                            f"cache-hit:{unit.label or unit.kind}",
+                            tracer.now_us(), PID_ENGINE, TID_ENGINE_CONTROL,
+                            cat="cache", args={"index": i},
+                        )
+                    self._emit(unit, i, True, 0.0, len(units))
+                else:
+                    pending.append((i, unit, key))
         if caching:
             metrics.cache_corrupt = self.cache.stats.corrupt - corrupt0
 
         attempts: list[AttemptRecord] = []
         if pending:
-            res_map, fail_map = self._evaluate_pending(
-                pending, metrics, attempts, len(units)
+            eval_cm = (
+                prof.phase("engine/evaluate")
+                if profiling
+                else contextlib.nullcontext()
             )
+            with eval_cm:
+                res_map, fail_map = self._evaluate_pending(
+                    pending, metrics, attempts, len(units)
+                )
+            # ``pending`` is in submission order; absorbing worker
+            # profile snapshots in that fixed order keeps the merged
+            # float sums identical run to run, whatever the pool's
+            # completion order was.
             for i, unit, key in pending:
                 if i in res_map:
-                    result, seconds = res_map[i]
+                    result, seconds, unit_prof = res_map[i]
                     results[i] = result
                     outcomes[i] = UnitOutcome(i, unit, False, seconds, result)
                     metrics.evaluated += 1
@@ -583,6 +634,15 @@ class CorpusEngine:
                     metrics.unit_seconds.append(seconds)
                     if isinstance(result, dict) and result.get("degraded"):
                         metrics.degraded += 1
+                    if profiling and unit_prof is not None:
+                        prof.absorb(unit_prof, prefix="unit")
+                        prof.record_unit(
+                            unit.label or unit.kind,
+                            seconds,
+                            unit_prof.get("counters", {}).get(
+                                "sim.cycles.total", 0.0
+                            ),
+                        )
                     self._cache_put(unit, key, result, metrics)
                 else:
                     failure = fail_map[i]
@@ -679,7 +739,7 @@ class CorpusEngine:
         metrics: EngineMetrics,
         attempts: list[AttemptRecord],
         total: int,
-    ) -> tuple[dict[int, tuple[dict, float]], dict[int, UnitFailure]]:
+    ) -> tuple[dict[int, tuple[dict, float, Optional[dict]]], dict[int, UnitFailure]]:
         """Evaluate cache misses — inline or pooled — with retries."""
         if self.jobs == 1 or len(pending) == 1:
             with self._serial_state():
@@ -687,13 +747,16 @@ class CorpusEngine:
                     pending, _dispatch_serial, None, metrics, attempts, total
                 )
         from .. import faults
+        from ..obs.prof import active_profiler
 
+        prof = active_profiler()
         wp = _WorkerPool(
             self.jobs,
             (
                 faults.active_plan(),
                 self.unit_timeout,
                 self.error_policy != "fail_fast",
+                prof is not None and prof.enabled,
             ),
         )
         try:
@@ -713,7 +776,7 @@ class CorpusEngine:
         metrics: EngineMetrics,
         attempts: list[AttemptRecord],
         total: int,
-    ) -> tuple[dict[int, tuple[dict, float]], dict[int, UnitFailure]]:
+    ) -> tuple[dict[int, tuple[dict, float, Optional[dict]]], dict[int, UnitFailure]]:
         """The retry loop: dispatch rounds of attempts until every unit
         has a result or a final failure.
 
@@ -729,12 +792,12 @@ class CorpusEngine:
         tasks: list[tuple[int, WorkUnit, int]] = [
             (i, u, 0) for i, u, _ in pending
         ]
-        results: dict[int, tuple[dict, float]] = {}
+        results: dict[int, tuple[dict, float, Optional[dict]]] = {}
         failures: dict[int, UnitFailure] = {}
         while tasks:
             retries: list[tuple[int, WorkUnit, int]] = []
             max_backoff = 0.0
-            for idx, status, payload, seconds in dispatch(
+            for idx, status, payload, seconds, profile in dispatch(
                 tasks, stall_timeout
             ):
                 st = state[idx]
@@ -743,7 +806,7 @@ class CorpusEngine:
                 attempt = st["attempts"] - 1
                 unit = st["unit"]
                 if status == "ok":
-                    results[idx] = (payload, st["seconds"])
+                    results[idx] = (payload, st["seconds"], profile)
                     attempts.append(
                         AttemptRecord(idx, unit, attempt, "ok", seconds)
                     )
@@ -808,17 +871,22 @@ class CorpusEngine:
     @contextlib.contextmanager
     def _serial_state(self) -> Iterator[None]:
         """Install worker-side context for the inline path."""
-        global _WORKER_TIMEOUT
+        global _WORKER_TIMEOUT, _WORKER_PROFILING
         from .evaluators import partial_results_enabled
+        from ..obs.prof import active_profiler
 
         prev_timeout = _WORKER_TIMEOUT
         prev_partial = partial_results_enabled()
+        prev_profiling = _WORKER_PROFILING
         _WORKER_TIMEOUT = self.unit_timeout
+        prof = active_profiler()
+        _WORKER_PROFILING = prof is not None and prof.enabled
         set_partial_results(self.error_policy != "fail_fast")
         try:
             yield
         finally:
             _WORKER_TIMEOUT = prev_timeout
+            _WORKER_PROFILING = prev_profiling
             set_partial_results(prev_partial)
 
     def _stall_timeout(self) -> Optional[float]:

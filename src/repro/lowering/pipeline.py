@@ -31,6 +31,7 @@ model edited in place must be re-created instead.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Union
@@ -116,9 +117,22 @@ def normalize_instructions(
 def _lower_uncached(
     source: str, model: MachineModel, asm_digest: str, model_digest: str
 ) -> LoweredBlock:
-    parsed = parse_kernel(source, model.isa)
-    instructions = normalize_instructions(parsed, model.isa)
-    resolved = tuple(model.resolve(i) for i in instructions)
+    from ..obs.prof import active_profiler
+
+    prof = active_profiler()
+    if prof is not None and prof.enabled:
+        # the profiler mirrors the pipeline's published stage names:
+        # parse -> normalize -> resolve (docs/observability.md)
+        with prof.phase("parse"):
+            parsed = parse_kernel(source, model.isa)
+        with prof.phase("normalize"):
+            instructions = normalize_instructions(parsed, model.isa)
+        with prof.phase("resolve"):
+            resolved = tuple(model.resolve(i) for i in instructions)
+    else:
+        parsed = parse_kernel(source, model.isa)
+        instructions = normalize_instructions(parsed, model.isa)
+        resolved = tuple(model.resolve(i) for i in instructions)
     zero = tuple(is_zero_idiom(i) for i in instructions)
     return LoweredBlock(
         source=source,
@@ -174,11 +188,19 @@ def lower(
     reg.counter(
         "lowering.memo_misses", "blocks parsed and resolved from scratch"
     ).inc()
+    from ..obs.prof import active_profiler
+
+    prof = active_profiler()
+    prof_cm = (
+        prof.phase("lower")
+        if prof is not None and prof.enabled
+        else contextlib.nullcontext()
+    )
     tracer = active_tracer()
     if tracer is not None and tracer.enabled:
         tracer.process(PID_LOWER, "lowering")
         tracer.lane(PID_LOWER, TID_LOWER, "lower")
-        with tracer.span(
+        with prof_cm, tracer.span(
             f"lower:{key[0][:12]}",
             PID_LOWER,
             TID_LOWER,
@@ -187,7 +209,8 @@ def lower(
         ):
             block = _lower_uncached(source, model, *key)
     else:
-        block = _lower_uncached(source, model, *key)
+        with prof_cm:
+            block = _lower_uncached(source, model, *key)
 
     if memo:
         _MEMO[key] = block

@@ -14,6 +14,13 @@ reproduction the same property at runtime, in three layers:
   snapshot/delta semantics and text + JSON exporters; absorbs the
   engine's :class:`~repro.engine.pool.EngineMetrics` and the
   simulator's stall counters behind one API.
+* :mod:`.prof` — a hierarchical phase profiler: nested wall/CPU
+  timers over parse → normalize → resolve → lower → per-backend
+  predict, deterministic per-cycle attribution from the simulator
+  (dispatch, port waits, ROB/scheduler occupancy), per-unit records
+  that cross the engine's worker-process boundary, a ranked
+  attribution report, and collapsed-stack flamegraph export.  Free
+  when disabled, same pattern as :class:`~repro.obs.trace.NullTracer`.
 * :mod:`.report` — structured run-report manifests written by
   ``repro-bench --run-report`` and diffed by the ``repro-report`` CLI,
   which flags accuracy and runtime regressions (``--check`` makes it a
@@ -33,6 +40,13 @@ from .metrics import (
     record_stall_cycles,
     set_registry,
     use_registry,
+)
+from .prof import (
+    NullProfiler,
+    PhaseProfiler,
+    active_profiler,
+    set_active_profiler,
+    use_profiler,
 )
 from .progress import ProgressBar, is_tty
 from .report import (
@@ -64,9 +78,12 @@ __all__ = [
     "Histogram",
     "ManifestDiff",
     "MetricsRegistry",
+    "NullProfiler",
     "NullTracer",
+    "PhaseProfiler",
     "ProgressBar",
     "Tracer",
+    "active_profiler",
     "active_tracer",
     "benchmark_stats",
     "build_manifest",
@@ -77,8 +94,10 @@ __all__ = [
     "load_manifest",
     "record_engine_metrics",
     "record_stall_cycles",
+    "set_active_profiler",
     "set_active_tracer",
     "set_registry",
+    "use_profiler",
     "use_registry",
     "use_tracer",
     "write_manifest",

@@ -109,18 +109,28 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (0..1) from the bucket histogram."""
+        """Approximate q-quantile (0..1) from the bucket histogram.
+
+        Total by construction: an empty histogram reports 0.0, a
+        single sample (or a degenerate min==max distribution) reports
+        that sample, and ``q`` is clamped to [0, 1] — so exports can
+        call this unconditionally.
+        """
         if not self.count:
             return 0.0
-        target = q * self.count
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        target = min(1.0, max(0.0, q)) * self.count
         seen = 0
         lo = 0.0
         for i, n in enumerate(self.bucket_counts):
             hi = self.bounds[i] if i < len(self.bounds) else self.max
             if n and seen + n >= target:
                 frac = (target - seen) / n
+                # interpolate strictly within the observed range: the
+                # winning bucket's bounds may be wider than the data
                 hi = min(hi, self.max)
-                lo = max(lo, self.min) if i == 0 else lo
+                lo = min(max(lo, self.min), hi)
                 return lo + frac * max(0.0, hi - lo)
             seen += n
             if i < len(self.bounds):
@@ -135,6 +145,8 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
             "buckets": {
                 ("+inf" if i == len(self.bounds) else repr(self.bounds[i])): n
                 for i, n in enumerate(self.bucket_counts)
@@ -229,8 +241,13 @@ class MetricsRegistry:
         lines = []
         for name, m in snap.items():
             if m["type"] == "histogram":
+                quant = (
+                    f"p50={m['p50']:.6g} p95={m['p95']:.6g} "
+                    if "p50" in m
+                    else ""
+                )
                 val = (
-                    f"count={m['count']} mean={m['mean']:.6g} "
+                    f"count={m['count']} mean={m['mean']:.6g} {quant}"
                     f"min={m['min']:.6g} max={m['max']:.6g}"
                 )
             else:

@@ -29,10 +29,11 @@ SCHEMA = "repro-run-report/1"
 #: against the final path component of the metric, first match wins.
 _LOWER_IS_BETTER = (
     "rpe", "mape", "error", "off_by", "seconds", "misses", "violations",
-    "skipped", "failed", "retries", "diverg", "degraded",
+    "skipped", "failed", "retries", "diverg", "degraded", "_share",
 )
 _HIGHER_IS_BETTER = (
     "right_side", "within_", "hit_rate", "accuracy", "gflops", "ipc",
+    "per_second",
 )
 
 

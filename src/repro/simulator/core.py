@@ -27,6 +27,8 @@ track (the paper's two documented over-prediction cases):
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -34,7 +36,7 @@ from ..isa.idioms import is_zero_idiom
 from ..isa.instruction import Instruction, OperandAccess
 from ..isa.operands import MemoryOperand, Register
 from ..machine import MachineModel
-from ..machine.model import ResolvedInstruction
+from ..machine.model import ResolvedInstruction, Uop
 
 #: measured divider occupancies that beat the machine-model value
 #: (uarch name, mnemonic) -> cycles.  The paper: "the π kernel for
@@ -206,6 +208,7 @@ class CoreSimulator:
         *,
         tracer=None,
         collect_stalls: bool = False,
+        profiler=None,
         resolved: Optional[Sequence[ResolvedInstruction]] = None,
     ) -> SimulationResult:
         """Execute ``warmup + iterations`` iterations; measure the tail.
@@ -220,9 +223,14 @@ class CoreSimulator:
         instruction as Chrome trace events: dispatch slots on the
         frontend lane, µop slices on per-port lanes, retire instants,
         and cause-attributed stall events.  ``collect_stalls`` fills
-        :attr:`SimulationResult.stall_cycles` without tracing.  Both
-        default off and then cost nothing — the hot loop only tests
-        two hoisted booleans.
+        :attr:`SimulationResult.stall_cycles` without tracing.
+        ``profiler`` (a :class:`repro.obs.prof.PhaseProfiler`; when
+        ``None`` the ambient one is consulted) receives deterministic
+        sub-phase cycle attribution — frontend dispatch, ROB
+        backpressure, issue/port waits, retire — plus per-mnemonic µop
+        cycles, per-port occupancy, and ROB/scheduler-window
+        accounting.  All three default off and then cost nothing: the
+        hot loop only tests hoisted booleans.
         """
         if iterations < 1:
             raise ValueError("need at least one measured iteration")
@@ -267,8 +275,6 @@ class CoreSimulator:
         mem_ready: dict[tuple, float] = {}
         last_branch = -1e9
 
-        from collections import deque
-
         frontend_time = 0.0
         rob_size = self.model.rob_size
         rob_retire: deque[float] = deque(maxlen=rob_size)
@@ -279,10 +285,55 @@ class CoreSimulator:
 
         fused_with_next = self._macro_fusion(instructions)
 
-        # Observability is opt-in and hoisted: with both flags off the
-        # loop below pays only two local boolean tests per instruction.
+        # -- per-body-index precomputation.  Everything invariant across
+        # iterations is hoisted out of the cycle loop (profiler-discovered
+        # micro-fix: the Uop construction, divider-override lookup, and
+        # effective-latency call used to run once per *dynamic* instance).
+        # Each precomputed value reproduces the exact float the inline
+        # expression produced, so results stay bit-identical.
+        slot_of = [j == 0 or not fused_with_next[j - 1] for j in range(n_body)]
+        load_ports = self.model.load_ports
+        model_name = self.model.name
+        divider_get = self.divider_overrides.get
+        uop_plans: list[tuple[tuple, ...]] = []
+        divider_occ: list[float] = []
+        eff_latency: list[float] = []
+        load_lat: list[Optional[float]] = []
+        is_branch_of: list[bool] = []
+        special_of: list[Optional[float]] = []
+        mnemonic_of: list[str] = []
+        for j in range(n_body):
+            ins = instructions[j]
+            r = resolved[j]
+            extra = split_extra[j]
+            uops = r.uops
+            if extra > 0:
+                uops = r.uops + (Uop(ports=load_ports, cycles=extra),)
+            uop_plans.append(
+                tuple((u.ports, u.cycles, u.cycles * occupancy_scale) for u in uops)
+            )
+            div = r.divider
+            if div:
+                override = divider_get((model_name, ins.mnemonic))
+                if override is not None:
+                    div = override
+            divider_occ.append(div)
+            eff_latency.append(self._effective_latency(ins, r.latency))
+            load_lat.append(r.load_latency if r.n_loads else None)
+            is_branch_of.append(ins.is_branch)
+            special_of.append(r.throughput)
+            mnemonic_of.append(ins.mnemonic)
+
+        # Observability is opt-in and hoisted: with all flags off the
+        # loop below pays only local boolean tests per instruction.
         tracing = tracer is not None and getattr(tracer, "enabled", False)
-        collect = collect_stalls or tracing
+        prof = profiler
+        if prof is None:
+            from ..obs.prof import active_profiler
+
+            prof = active_profiler()
+        profiling = prof is not None and prof.enabled
+        collect = collect_stalls or tracing or profiling
         stalls: Optional[dict[str, float]] = None
         if collect:
             stalls = {
@@ -290,6 +341,9 @@ class CoreSimulator:
                 "port": 0.0, "divider": 0.0, "special": 0.0,
                 "branch": 0.0, "retire": 0.0,
             }
+        if profiling:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
         if tracing:
             from ..obs.trace import (
                 PID_SIM,
@@ -300,16 +354,18 @@ class CoreSimulator:
 
             port_tid = tracer.sim_lanes(self.model.ports)
 
+        # hoisted bound methods / scalars of the cycle loop
+        issue = issue_unit.issue
+        advance = issue_unit.advance
+        rob_append = rob_retire.append
+        tb_interval = self.taken_branch_interval
+
         mark_cycle = 0.0
-        idx_global = 0
         trace: list[TraceEvent] = []
         for it in range(total_iters):
             for j in range(n_body):
-                ins = instructions[j]
-                r = resolved[j]
-
                 # -- frontend: fused-domain dispatch slots
-                slot_consumed = j == 0 or not fused_with_next[j - 1]
+                slot_consumed = slot_of[j]
                 if slot_consumed:
                     frontend_time += dispatch_step
                 dispatch = frontend_time
@@ -359,26 +415,17 @@ class CoreSimulator:
 
                 # -- issue µops greedily (plus split-load replays)
                 finish_exec = ready
-                extra = split_extra[j]
-                uop_list = r.uops
-                if extra > 0:
-                    from ..machine.model import Uop as _Uop
-
-                    uop_list = r.uops + (
-                        _Uop(ports=self.model.load_ports, cycles=extra),
-                    )
-                for u in uop_list:
-                    dur = u.cycles * occupancy_scale
-                    start, chosen = issue_unit.issue(u.ports, ready, dur)
-                    port_busy[chosen] += u.cycles
+                for ports, cycles, dur in uop_plans[j]:
+                    start, chosen = issue(ports, ready, dur)
+                    port_busy[chosen] += cycles
                     finish_exec = max(finish_exec, start)
                     if tracing and dur > 0:
                         tracer.complete(
-                            ins.mnemonic, start, dur, PID_SIM,
+                            mnemonic_of[j], start, dur, PID_SIM,
                             port_tid[chosen], cat="uop",
                             args={"iter": it, "i": j},
                         )
-                issue_unit.advance(dispatch)
+                advance(dispatch)
                 if collect and finish_exec > ready:
                     stalls["port"] += finish_exec - ready
                     if tracing:
@@ -388,13 +435,8 @@ class CoreSimulator:
                             args={"cycles": finish_exec - ready, "i": j},
                         )
 
-                divider = r.divider
+                divider = divider_occ[j]
                 if divider:
-                    override = self.divider_overrides.get(
-                        (self.model.name, ins.mnemonic)
-                    )
-                    if override is not None:
-                        divider = override
                     start = max(divider_free, ready)
                     if collect and start > ready:
                         stalls["divider"] += start - ready
@@ -407,41 +449,42 @@ class CoreSimulator:
                     divider_free = start + divider
                     finish_exec = max(finish_exec, start)
 
-                if r.throughput is not None:
-                    key2 = ins.mnemonic
+                throughput = special_of[j]
+                if throughput is not None:
+                    key2 = mnemonic_of[j]
                     start = max(special_free.get(key2, 0.0), ready)
                     if collect and start > ready:
                         stalls["special"] += start - ready
-                    special_free[key2] = start + r.throughput
+                    special_free[key2] = start + throughput
                     finish_exec = max(finish_exec, start)
 
-                if ins.is_branch:
-                    start = max(finish_exec, last_branch + self.taken_branch_interval)
+                if is_branch_of[j]:
+                    start = max(finish_exec, last_branch + tb_interval)
                     if collect and start > finish_exec:
                         stalls["branch"] += start - finish_exec
                     last_branch = start
                     finish_exec = start
 
-                complete = finish_exec + self._effective_latency(ins, r.latency)
-                if r.n_loads:
-                    complete += r.load_latency
+                complete = finish_exec + eff_latency[j]
+                if load_lat[j] is not None:
+                    complete += load_lat[j]
 
                 # -- retire in order
                 retire = max(complete, retire_time_prev + retire_step)
                 if collect and retire > complete:
                     stalls["retire"] += retire - complete
                 retire_time_prev = retire
-                rob_retire.append(retire)
+                rob_append(retire)
 
                 if tracing:
                     if slot_consumed:
                         tracer.complete(
-                            ins.mnemonic, dispatch, dispatch_step, PID_SIM,
+                            mnemonic_of[j], dispatch, dispatch_step, PID_SIM,
                             TID_FRONTEND, cat="dispatch",
                             args={"iter": it, "i": j},
                         )
                     tracer.instant(
-                        ins.mnemonic, retire, PID_SIM, TID_RETIRE,
+                        mnemonic_of[j], retire, PID_SIM, TID_RETIRE,
                         cat="retire",
                         args={"iter": it, "i": j, "dispatch": dispatch,
                               "exec": finish_exec, "complete": complete,
@@ -453,7 +496,7 @@ class CoreSimulator:
                         TraceEvent(
                             iteration=it,
                             index=j,
-                            text=str(ins),
+                            text=str(instructions[j]),
                             dispatch=dispatch,
                             exec_start=finish_exec,
                             complete=complete,
@@ -467,14 +510,29 @@ class CoreSimulator:
                 for key, variant in mem_writes_of[j]:
                     mem_ready[(key, it) if variant else key] = complete
 
-                idx_global += 1
-
             if it == warmup - 1:
                 mark_cycle = retire_time_prev
 
         total = retire_time_prev
         measured = total - mark_cycle if warmup > 0 else total
         measured *= 1.0 + self.measurement_overhead
+        if profiling:
+            self._publish_profile(
+                prof,
+                wall=time.perf_counter() - wall0,
+                cpu=time.process_time() - cpu0,
+                stalls=stalls,
+                total=total,
+                total_iters=total_iters,
+                n_body=n_body,
+                n_slots=sum(slot_of),
+                dispatch_step=dispatch_step,
+                uop_plans=uop_plans,
+                mnemonic_of=mnemonic_of,
+                port_busy=port_busy,
+                rob_size=rob_size,
+                issue_unit=issue_unit,
+            )
         return SimulationResult(
             cycles_per_iteration=measured / iterations,
             total_cycles=total,
@@ -483,8 +541,73 @@ class CoreSimulator:
             port_busy=port_busy,
             instructions_retired=total_iters * n_body,
             trace=trace,
-            stall_cycles=stalls,
+            stall_cycles=stalls if (collect_stalls or tracing) else None,
         )
+
+    def _publish_profile(
+        self,
+        prof,
+        *,
+        wall: float,
+        cpu: float,
+        stalls: dict[str, float],
+        total: float,
+        total_iters: int,
+        n_body: int,
+        n_slots: int,
+        dispatch_step: float,
+        uop_plans: list,
+        mnemonic_of: list[str],
+        port_busy: dict[str, float],
+        rob_size: int,
+        issue_unit: "_PortIssueUnit",
+    ) -> None:
+        """Publish one run's deterministic attribution to the profiler.
+
+        Everything here is a pure function of the simulated schedule
+        (no wall-clock except the ``simulate`` phase timer), so serial
+        and worker-pool runs produce bit-identical records.  Per-
+        mnemonic µop cycles and ROB occupancy are derived here in
+        closed form — every iteration issues the same per-index µop
+        cycles, and the retire deque is append-only and bounded — so
+        the simulated hot loop carries no profiling branches at all.
+        """
+        prof.record_phase("simulate", wall, cpu)
+        prof.add_cycles(
+            {
+                "frontend.dispatch": total_iters * n_slots * dispatch_step,
+                "frontend.rob_stall": stalls["rob"],
+                "issue.dependency_reg": stalls["dependency.reg"],
+                "issue.dependency_mem": stalls["dependency.mem"],
+                "issue.port_wait": stalls["port"],
+                "issue.divider": stalls["divider"],
+                "issue.special": stalls["special"],
+                "issue.branch": stalls["branch"],
+                "retire.inorder_wait": stalls["retire"],
+                "total": total,
+            }
+        )
+        mnem_cycles: dict[str, float] = {}
+        for j in range(n_body):
+            m = mnemonic_of[j]
+            per_iter = sum(cycles for _ports, cycles, _dur in uop_plans[j])
+            mnem_cycles[m] = mnem_cycles.get(m, 0.0) + per_iter * total_iters
+        prof.add_instruction_cycles(mnem_cycles)
+        prof.add_port_cycles(port_busy)
+        n_instr = total_iters * n_body
+        # occupancy before the k-th dynamic instruction is min(k, rob_size)
+        cap = min(n_instr, rob_size)
+        rob_occ_sum = cap * (cap - 1) // 2 + (n_instr - cap) * rob_size
+        prof.add_counter("sim.cycles.total", total)
+        prof.add_counter("sim.instructions", n_instr)
+        prof.add_counter("sim.rob_occupancy_sum", float(rob_occ_sum))
+        prof.add_counter("sim.rob_occupancy_samples", float(n_instr))
+        gap_cycles = sum(
+            g1 - g0
+            for gaps in issue_unit.gaps.values()
+            for g0, g1 in gaps
+        )
+        prof.add_counter("sim.sched_window_gap_cycles", gap_cycles)
 
     # ------------------------------------------------------------------
 

@@ -66,6 +66,55 @@ class TestHistogram:
         assert h.count == 0
         assert h.mean == 0.0
 
+    def test_empty_quantile_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 0.0
+        d = h.dump()
+        assert d["p50"] == 0.0 and d["p95"] == 0.0
+
+    def test_single_sample_quantile_is_the_sample(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.042)
+        # every quantile of a one-sample distribution is that sample —
+        # not a bucket bound
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(0.042)
+
+    def test_degenerate_distribution_quantile(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            h.observe(3.0)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(0.99) == pytest.approx(3.0)
+
+    def test_quantile_clamped_to_unit_interval(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.002, 0.02, 0.2):
+            h.observe(v)
+        assert h.quantile(-0.5) <= h.quantile(0.0) <= h.min + 1e-12
+        assert h.quantile(1.5) == h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_quantile_bounded_by_observed_range(self):
+        # interpolation must never extrapolate past min/max even when
+        # the winning bucket's bounds are wider than the data
+        h = MetricsRegistry().histogram("h")
+        for v in (0.006, 0.007, 0.009):
+            h.observe(v)  # all land in the (0.005, 0.01] bucket
+        for q in (0.1, 0.5, 0.9):
+            assert h.min <= h.quantile(q) <= h.max
+
+    def test_dump_and_render_include_percentiles(self):
+        r = MetricsRegistry()
+        h = r.histogram("h")
+        for v in (0.1, 0.2, 0.3, 0.4):
+            h.observe(v)
+        d = h.dump()
+        assert 0.1 <= d["p50"] <= 0.4
+        assert d["p50"] <= d["p95"] <= 0.4
+        text = r.render_text()
+        assert "p50=" in text and "p95=" in text
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):
