@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..isa.instruction import Instruction, OperandAccess
+from ..isa.instruction import Instruction
 from ..isa.operands import MemoryOperand
 from ..machine import MachineModel
 from .scheddata import MCASchedData
@@ -154,28 +154,25 @@ class MCASimulator:
             resource_pressure=pressure,
         )
 
+    # memory aliasing keys are shared with the core pipeline (they used
+    # to be duplicated verbatim here; test_simulator_plan.py asserts
+    # the tables agree)
+
     @staticmethod
     def _mem_key(op: MemoryOperand) -> tuple:
-        return (
-            op.base.root if op.base else None,
-            op.index.root if op.index else None,
-            op.scale,
-            op.displacement,
-        )
+        from ..simulator.plan import mem_key
+
+        return mem_key(op)
 
     def _mem_reads(self, ins: Instruction) -> list[tuple]:
-        return [
-            self._mem_key(o)
-            for o, a in zip(ins.operands, ins.accesses)
-            if isinstance(o, MemoryOperand) and (a & OperandAccess.READ)
-        ]
+        from ..simulator.plan import mem_reads
+
+        return mem_reads(ins)
 
     def _mem_writes(self, ins: Instruction) -> list[tuple]:
-        return [
-            self._mem_key(o)
-            for o, a in zip(ins.operands, ins.accesses)
-            if isinstance(o, MemoryOperand) and (a & OperandAccess.WRITE)
-        ]
+        from ..simulator.plan import mem_writes
+
+        return mem_writes(ins)
 
 
 def mca_predict(

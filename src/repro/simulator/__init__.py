@@ -4,10 +4,16 @@ The paper validates its models against measurements on physical Grace,
 Sapphire Rapids, and Genoa machines.  Those machines are replaced here
 by simulators parameterized with the same microarchitectural data:
 
-* :mod:`~repro.simulator.core` — cycle-level out-of-order core
+* the staged core pipeline (see ``docs/architecture.md``):
+  :mod:`~repro.simulator.plan` builds the iteration-invariant
+  :class:`UopPlan` once per lowered block,
+  :mod:`~repro.simulator.engine` replays it cycle-accurately
   (dispatch, renaming, greedy port binding, finite ROB, divider
-  serialization).  Produces the "measured" cycles/iteration that the
-  static models are validated against.
+  serialization) to produce the "measured" cycles/iteration, and
+  :mod:`~repro.simulator.steadystate` predicts the same number
+  analytically when its confidence predicate holds (the ``fastpath``
+  backend's dispatch policy).  :mod:`~repro.simulator.core` keeps the
+  historical :class:`CoreSimulator` surface as a thin wrapper.
 * :mod:`~repro.simulator.memory` — line-granular cache hierarchy with
   write-allocate policy hooks (always / cache-line claim / SpecI2M) and
   non-temporal store handling (Fig. 4).
@@ -19,6 +25,16 @@ by simulators parameterized with the same microarchitectural data:
 """
 
 from .core import CoreSimulator, SimulationResult, TraceEvent, simulate_kernel
+from .engine import CycleEngine
+from .plan import PlanConfig, UopPlan, build_uop_plan, plan_for, plan_for_block
+from .steadystate import (
+    AnalyticalBound,
+    ProbeOutcome,
+    SteadyStateResult,
+    analytical_bound,
+    predict_steady_state,
+    probe,
+)
 from .timeline import render_timeline, timeline
 from .frequency import FrequencyGovernor, sustained_frequency
 from .memory import CacheHierarchy, CacheLevel, WritePolicyStats
@@ -31,6 +47,18 @@ __all__ = [
     "SimulationResult",
     "TraceEvent",
     "simulate_kernel",
+    "CycleEngine",
+    "UopPlan",
+    "PlanConfig",
+    "build_uop_plan",
+    "plan_for",
+    "plan_for_block",
+    "AnalyticalBound",
+    "ProbeOutcome",
+    "SteadyStateResult",
+    "analytical_bound",
+    "predict_steady_state",
+    "probe",
     "render_timeline",
     "timeline",
     "FrequencyGovernor",

@@ -1,4 +1,4 @@
-"""Cycle-level out-of-order core simulator.
+"""Cycle-level out-of-order core simulator (compatibility surface).
 
 This is the stand-in for the physical CPUs: it executes a loop body
 repeatedly under the same port model the analyzer uses, but with the
@@ -23,140 +23,64 @@ track (the paper's two documented over-prediction cases):
   (``merge_renaming=True``; Neoverse V2 Gauss-Seidel),
 * the Zen 4 scalar divider sustains a better reciprocal throughput than
   its documented occupancy (``divider_overrides``; π kernel).
+
+The simulator itself is now a staged pipeline (see
+``docs/architecture.md``):
+
+* :mod:`~repro.simulator.plan` — :class:`~repro.simulator.plan.UopPlan`,
+  the iteration-invariant tables built once per lowered block,
+* :mod:`~repro.simulator.engine` — the cycle-accurate
+  :class:`~repro.simulator.engine.CycleEngine` that replays a plan,
+* :mod:`~repro.simulator.steadystate` — the analytical engine + the
+  confidence predicate behind the ``fastpath`` backend.
+
+:class:`CoreSimulator` remains as the thin compatibility wrapper every
+pre-existing import keeps working against: it normalizes its knobs
+into a :class:`~repro.simulator.plan.PlanConfig`, builds the plan, and
+delegates to the engine.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..isa.idioms import is_zero_idiom
-from ..isa.instruction import Instruction, OperandAccess
-from ..isa.operands import MemoryOperand, Register
+from ..isa.instruction import Instruction
 from ..machine import MachineModel
-from ..machine.model import ResolvedInstruction, Uop
+from ..machine.model import ResolvedInstruction
+from .engine import CycleEngine, SimulationResult, TraceEvent, _PortIssueUnit
+from .plan import (
+    DEFAULT_DIVIDER_OVERRIDES,
+    PlanConfig,
+    UopPlan,
+    build_uop_plan,
+    dependency_sets,
+    effective_latency,
+    key_variant,
+    macro_fusion,
+    mem_key,
+    mem_reads,
+    mem_writes,
+    split_load_uops,
+)
 
-#: measured divider occupancies that beat the machine-model value
-#: (uarch name, mnemonic) -> cycles.  The paper: "the π kernel for
-#: Zen 4, where our model assumes a lower throughput for the scalar
-#: divide than we measure".
-DEFAULT_DIVIDER_OVERRIDES: dict[tuple[str, str], float] = {
-    ("zen4", "divsd"): 4.0,
-    ("zen4", "vdivsd"): 4.0,
-}
-
-
-@dataclass
-class TraceEvent:
-    """Timing of one dynamic instruction instance (timeline view)."""
-
-    iteration: int
-    index: int
-    text: str
-    dispatch: float
-    exec_start: float
-    complete: float
-    retire: float
-
-
-@dataclass
-class SimulationResult:
-    """Steady-state outcome of simulating a loop body."""
-
-    cycles_per_iteration: float
-    total_cycles: float
-    iterations: int
-    warmup_iterations: int
-    port_busy: dict[str, float]
-    instructions_retired: int
-    trace: list[TraceEvent] = None  # type: ignore[assignment]
-    #: per-cause stall attribution in cycles, populated when the run
-    #: collects stats (``collect_stalls=True`` or an enabled tracer)
-    stall_cycles: Optional[dict[str, float]] = None
-
-    @property
-    def ipc(self) -> float:
-        if self.total_cycles <= 0:
-            return 0.0
-        return self.instructions_retired / self.total_cycles
-
-
-class _PortIssueUnit:
-    """Port availability with gap backfill.
-
-    Real OoO schedulers are greedy *per cycle*: an older µop with a
-    far-future ready time does not reserve the port — younger ready µops
-    backfill the idle cycles.  We model each port as a busy timeline
-    with explicit gaps; a µop issues into the earliest gap (or at the
-    tail) no earlier than its ready time.  Gaps older than the
-    scheduler window are pruned — hardware cannot hold arbitrarily many
-    waiting µops, so very old idle cycles are genuinely lost.
-    """
-
-    #: gaps shorter than the smallest µop occupancy can never be filled
-    GAP_MIN = 0.5
-
-    def __init__(self, ports, window: float = 128.0):
-        self.tail = {p: 0.0 for p in ports}
-        self.gaps: dict[str, list[list[float]]] = {p: [] for p in ports}
-        self.window = window
-
-    def _best_start(self, port: str, ready: float, dur: float):
-        tail = self.tail[port]
-        if ready >= tail:
-            # no gap ends after the tail: append directly
-            return ready, None
-        for k, (g0, g1) in enumerate(self.gaps[port]):
-            start = g0 if g0 > ready else ready
-            if start + dur <= g1:
-                return start, k
-        return tail if tail > ready else ready, None
-
-    def issue(self, candidates, ready: float, dur: float):
-        """Place a µop; returns (start_time, port)."""
-        if dur <= 0:
-            return ready, candidates[0]
-        if len(candidates) == 1:
-            best = (*self._best_start(candidates[0], ready, dur), candidates[0])
-            start, gap_idx, port = best
-        else:
-            best = None
-            for p in candidates:
-                start, gap_idx = self._best_start(p, ready, dur)
-                if best is None or start < best[0]:
-                    best = (start, gap_idx, p)
-                    if start <= ready:  # cannot do better than 'ready'
-                        break
-            start, gap_idx, port = best
-        if gap_idx is None:
-            tail = self.tail[port]
-            if start - tail >= self.GAP_MIN:
-                self.gaps[port].append([tail, start])
-            self.tail[port] = start + dur
-        else:
-            g0, g1 = self.gaps[port][gap_idx]
-            repl = []
-            if start - g0 >= self.GAP_MIN:
-                repl.append([g0, start])
-            if g1 - (start + dur) >= self.GAP_MIN:
-                repl.append([start + dur, g1])
-            self.gaps[port][gap_idx:gap_idx + 1] = repl
-        return start, port
-
-    def advance(self, now: float) -> None:
-        """Prune gaps that fell out of the scheduler window."""
-        horizon = now - self.window
-        if horizon <= 0:
-            return
-        for p, gaps in self.gaps.items():
-            if gaps and gaps[0][1] < horizon:
-                self.gaps[p] = [g for g in gaps if g[1] >= horizon]
+__all__ = [
+    "DEFAULT_DIVIDER_OVERRIDES",
+    "CoreSimulator",
+    "SimulationResult",
+    "TraceEvent",
+    "simulate_kernel",
+    "_PortIssueUnit",
+]
 
 
 class CoreSimulator:
-    """Simulates repeated execution of one loop body on a machine model."""
+    """Simulates repeated execution of one loop body on a machine model.
+
+    Compatibility wrapper over the staged pipeline: ``run()`` builds a
+    :class:`UopPlan` from the instructions and replays it on a
+    :class:`CycleEngine` — bit-identical to the historical monolithic
+    implementation.
+    """
 
     def __init__(
         self,
@@ -199,6 +123,97 @@ class CoreSimulator:
 
     # ------------------------------------------------------------------
 
+    def plan_config(self) -> PlanConfig:
+        """This simulator's knobs as a hashable plan configuration."""
+        return PlanConfig.make(
+            merge_renaming=self.merge_renaming,
+            divider_overrides=self.divider_overrides,
+            taken_branch_interval=self.taken_branch_interval,
+            issue_efficiency=self.issue_efficiency,
+            dispatch_efficiency=self.dispatch_efficiency,
+            measurement_overhead=self.measurement_overhead,
+        )
+
+    def plan(
+        self,
+        instructions: Sequence[Instruction],
+        resolved: Optional[Sequence[ResolvedInstruction]] = None,
+    ) -> UopPlan:
+        """Build the :class:`UopPlan` this simulator would execute.
+
+        Subclass overrides of the historical table-derivation hooks
+        (``_effective_latency`` et al.) are honored by rebuilding the
+        affected plan tables through them — counterfactual studies
+        (:mod:`repro.analysis.topdown`) subclass these to ablate one
+        mechanism at a time.
+        """
+        plan = build_uop_plan(
+            instructions,
+            self.model,
+            resolved=resolved,
+            config=self.plan_config(),
+        )
+        cls = type(self)
+        overridden = {
+            hook: getattr(cls, hook) is not getattr(CoreSimulator, hook)
+            for hook in (
+                "_effective_latency",
+                "_dependency_sets",
+                "_macro_fusion",
+                "_split_load_uops",
+            )
+        }
+        if not any(overridden.values()):
+            return plan
+        import dataclasses
+
+        patch: dict = {}
+        if overridden["_effective_latency"]:
+            res = (
+                list(resolved)
+                if resolved is not None
+                else [self.model.resolve(i) for i in plan.instructions]
+            )
+            patch["eff_latency"] = tuple(
+                self._effective_latency(ins, r.latency)
+                for ins, r in zip(plan.instructions, res)
+            )
+        if overridden["_dependency_sets"]:
+            reads, writes = self._dependency_sets(plan.instructions)
+            patch["reads"] = tuple(reads)
+            patch["writes"] = tuple(writes)
+        if overridden["_macro_fusion"]:
+            fused = self._macro_fusion(plan.instructions)
+            slot_of = tuple(
+                j == 0 or not fused[j - 1] for j in range(plan.n_body)
+            )
+            patch["slot_of"] = slot_of
+            patch["n_slots"] = sum(slot_of)
+        if overridden["_split_load_uops"]:
+            res = (
+                list(resolved)
+                if resolved is not None
+                else [self.model.resolve(i) for i in plan.instructions]
+            )
+            from ..machine.model import Uop
+
+            uop_plans = []
+            for ins, r in zip(plan.instructions, res):
+                uops = r.uops
+                extra = self._split_load_uops(ins)
+                if extra > 0:
+                    uops = r.uops + (
+                        Uop(ports=self.model.load_ports, cycles=extra),
+                    )
+                uop_plans.append(
+                    tuple(
+                        (u.ports, u.cycles, u.cycles * plan.occupancy_scale)
+                        for u in uops
+                    )
+                )
+            patch["uop_plans"] = tuple(uop_plans)
+        return dataclasses.replace(plan, **patch)
+
     def run(
         self,
         instructions: Sequence[Instruction],
@@ -213,520 +228,55 @@ class CoreSimulator:
     ) -> SimulationResult:
         """Execute ``warmup + iterations`` iterations; measure the tail.
 
-        Steady-state cycles/iteration is the slope between the retire
-        time of the last warmup iteration and the final iteration.
-        With ``trace_iterations > 0``, per-instance timing events for
-        the first iterations are collected (the llvm-mca-style
-        timeline; see :mod:`repro.simulator.timeline`).
-
-        ``tracer`` (a :class:`repro.obs.Tracer`) records every dynamic
-        instruction as Chrome trace events: dispatch slots on the
-        frontend lane, µop slices on per-port lanes, retire instants,
-        and cause-attributed stall events.  ``collect_stalls`` fills
-        :attr:`SimulationResult.stall_cycles` without tracing.
-        ``profiler`` (a :class:`repro.obs.prof.PhaseProfiler`; when
-        ``None`` the ambient one is consulted) receives deterministic
-        sub-phase cycle attribution — frontend dispatch, ROB
-        backpressure, issue/port waits, retire — plus per-mnemonic µop
-        cycles, per-port occupancy, and ROB/scheduler-window
-        accounting.  All three default off and then cost nothing: the
-        hot loop only tests hoisted booleans.
+        ``resolved`` accepts the lowering pipeline's pre-resolved
+        bindings (treated read-only); without it, instructions are
+        resolved here.  See :meth:`CycleEngine.run` for the tracer /
+        stall-collection / profiler semantics.
         """
-        if iterations < 1:
-            raise ValueError("need at least one measured iteration")
-        # ``resolved`` accepts the lowering pipeline's pre-resolved
-        # bindings (treated read-only); without it, resolve here.
-        resolved = (
-            [self.model.resolve(i) for i in instructions]
-            if resolved is None
-            else list(resolved)
-        )
-        reads, writes = self._dependency_sets(instructions)
-        split_extra = [self._split_load_uops(i) for i in instructions]
-        # Memory keys whose address registers advance every iteration
-        # alias only within an iteration (see analysis.depgraph).
-        variant_regs: set[str] = set()
-        for ins in instructions:
-            variant_regs.update(ins.register_writes())
-        mem_reads_of = []
-        mem_writes_of = []
-        for ins in instructions:
-            mem_reads_of.append(
-                [
-                    (k, self._key_variant(ins, k, variant_regs))
-                    for k in self._mem_reads(ins)
-                ]
-            )
-            mem_writes_of.append(
-                [
-                    (k, self._key_variant(ins, k, variant_regs))
-                    for k in self._mem_writes(ins)
-                ]
-            )
-
-        n_body = len(instructions)
-        total_iters = warmup + iterations
-
-        issue_unit = _PortIssueUnit(self.model.ports, window=float(self.model.scheduler_size))
-        port_busy: dict[str, float] = {p: 0.0 for p in self.model.ports}
-        divider_free = 0.0
-        special_free: dict[str, float] = {}
-        reg_ready: dict[str, float] = {}
-        mem_ready: dict[tuple, float] = {}
-        last_branch = -1e9
-
-        frontend_time = 0.0
-        rob_size = self.model.rob_size
-        rob_retire: deque[float] = deque(maxlen=rob_size)
-        retire_time_prev = 0.0
-        dispatch_step = 1.0 / (self.model.dispatch_width * self.dispatch_efficiency)
-        retire_step = 1.0 / self.model.retire_width
-        occupancy_scale = 1.0 / self.issue_efficiency
-
-        fused_with_next = self._macro_fusion(instructions)
-
-        # -- per-body-index precomputation.  Everything invariant across
-        # iterations is hoisted out of the cycle loop (profiler-discovered
-        # micro-fix: the Uop construction, divider-override lookup, and
-        # effective-latency call used to run once per *dynamic* instance).
-        # Each precomputed value reproduces the exact float the inline
-        # expression produced, so results stay bit-identical.
-        slot_of = [j == 0 or not fused_with_next[j - 1] for j in range(n_body)]
-        load_ports = self.model.load_ports
-        model_name = self.model.name
-        divider_get = self.divider_overrides.get
-        uop_plans: list[tuple[tuple, ...]] = []
-        divider_occ: list[float] = []
-        eff_latency: list[float] = []
-        load_lat: list[Optional[float]] = []
-        is_branch_of: list[bool] = []
-        special_of: list[Optional[float]] = []
-        mnemonic_of: list[str] = []
-        for j in range(n_body):
-            ins = instructions[j]
-            r = resolved[j]
-            extra = split_extra[j]
-            uops = r.uops
-            if extra > 0:
-                uops = r.uops + (Uop(ports=load_ports, cycles=extra),)
-            uop_plans.append(
-                tuple((u.ports, u.cycles, u.cycles * occupancy_scale) for u in uops)
-            )
-            div = r.divider
-            if div:
-                override = divider_get((model_name, ins.mnemonic))
-                if override is not None:
-                    div = override
-            divider_occ.append(div)
-            eff_latency.append(self._effective_latency(ins, r.latency))
-            load_lat.append(r.load_latency if r.n_loads else None)
-            is_branch_of.append(ins.is_branch)
-            special_of.append(r.throughput)
-            mnemonic_of.append(ins.mnemonic)
-
-        # Observability is opt-in and hoisted: with all flags off the
-        # loop below pays only local boolean tests per instruction.
-        tracing = tracer is not None and getattr(tracer, "enabled", False)
-        prof = profiler
-        if prof is None:
-            from ..obs.prof import active_profiler
-
-            prof = active_profiler()
-        profiling = prof is not None and prof.enabled
-        collect = collect_stalls or tracing or profiling
-        stalls: Optional[dict[str, float]] = None
-        if collect:
-            stalls = {
-                "rob": 0.0, "dependency.reg": 0.0, "dependency.mem": 0.0,
-                "port": 0.0, "divider": 0.0, "special": 0.0,
-                "branch": 0.0, "retire": 0.0,
-            }
-        if profiling:
-            wall0 = time.perf_counter()
-            cpu0 = time.process_time()
-        if tracing:
-            from ..obs.trace import (
-                PID_SIM,
-                TID_FRONTEND,
-                TID_RETIRE,
-                TID_STALL,
-            )
-
-            port_tid = tracer.sim_lanes(self.model.ports)
-
-        # hoisted bound methods / scalars of the cycle loop
-        issue = issue_unit.issue
-        advance = issue_unit.advance
-        rob_append = rob_retire.append
-        tb_interval = self.taken_branch_interval
-
-        mark_cycle = 0.0
-        trace: list[TraceEvent] = []
-        for it in range(total_iters):
-            for j in range(n_body):
-                # -- frontend: fused-domain dispatch slots
-                slot_consumed = slot_of[j]
-                if slot_consumed:
-                    frontend_time += dispatch_step
-                dispatch = frontend_time
-
-                # -- ROB backpressure: the slot of the instruction
-                # rob_size back must have retired
-                if len(rob_retire) == rob_size:
-                    if collect and rob_retire[0] > dispatch:
-                        stalls["rob"] += rob_retire[0] - dispatch
-                        if tracing:
-                            tracer.instant(
-                                "stall:rob", dispatch, PID_SIM, TID_STALL,
-                                cat="stall",
-                                args={"cycles": rob_retire[0] - dispatch,
-                                      "i": j},
-                            )
-                    dispatch = max(dispatch, rob_retire[0])
-                    frontend_time = max(frontend_time, dispatch)
-
-                # -- operand readiness
-                ready = dispatch
-                for root in reads[j]:
-                    ready = max(ready, reg_ready.get(root, 0.0))
-                for key, variant in mem_reads_of[j]:
-                    k = (key, it) if variant else key
-                    ready = max(ready, mem_ready.get(k, 0.0))
-                if collect and ready > dispatch:
-                    # attribute the wait: register bound first, any rest
-                    # is memory (store-forwarding) dependences
-                    reg_t = dispatch
-                    for root in reads[j]:
-                        rr = reg_ready.get(root, 0.0)
-                        if rr > reg_t:
-                            reg_t = rr
-                    if reg_t > dispatch:
-                        stalls["dependency.reg"] += reg_t - dispatch
-                    if ready > reg_t:
-                        stalls["dependency.mem"] += ready - reg_t
-                    if tracing:
-                        tracer.instant(
-                            "stall:dependency", dispatch, PID_SIM, TID_STALL,
-                            cat="stall",
-                            args={"cycles": ready - dispatch,
-                                  "registers": reg_t - dispatch,
-                                  "memory": ready - reg_t, "i": j},
-                        )
-
-                # -- issue µops greedily (plus split-load replays)
-                finish_exec = ready
-                for ports, cycles, dur in uop_plans[j]:
-                    start, chosen = issue(ports, ready, dur)
-                    port_busy[chosen] += cycles
-                    finish_exec = max(finish_exec, start)
-                    if tracing and dur > 0:
-                        tracer.complete(
-                            mnemonic_of[j], start, dur, PID_SIM,
-                            port_tid[chosen], cat="uop",
-                            args={"iter": it, "i": j},
-                        )
-                advance(dispatch)
-                if collect and finish_exec > ready:
-                    stalls["port"] += finish_exec - ready
-                    if tracing:
-                        tracer.instant(
-                            "stall:port", ready, PID_SIM, TID_STALL,
-                            cat="stall",
-                            args={"cycles": finish_exec - ready, "i": j},
-                        )
-
-                divider = divider_occ[j]
-                if divider:
-                    start = max(divider_free, ready)
-                    if collect and start > ready:
-                        stalls["divider"] += start - ready
-                        if tracing:
-                            tracer.instant(
-                                "stall:divider", ready, PID_SIM, TID_STALL,
-                                cat="stall",
-                                args={"cycles": start - ready, "i": j},
-                            )
-                    divider_free = start + divider
-                    finish_exec = max(finish_exec, start)
-
-                throughput = special_of[j]
-                if throughput is not None:
-                    key2 = mnemonic_of[j]
-                    start = max(special_free.get(key2, 0.0), ready)
-                    if collect and start > ready:
-                        stalls["special"] += start - ready
-                    special_free[key2] = start + throughput
-                    finish_exec = max(finish_exec, start)
-
-                if is_branch_of[j]:
-                    start = max(finish_exec, last_branch + tb_interval)
-                    if collect and start > finish_exec:
-                        stalls["branch"] += start - finish_exec
-                    last_branch = start
-                    finish_exec = start
-
-                complete = finish_exec + eff_latency[j]
-                if load_lat[j] is not None:
-                    complete += load_lat[j]
-
-                # -- retire in order
-                retire = max(complete, retire_time_prev + retire_step)
-                if collect and retire > complete:
-                    stalls["retire"] += retire - complete
-                retire_time_prev = retire
-                rob_append(retire)
-
-                if tracing:
-                    if slot_consumed:
-                        tracer.complete(
-                            mnemonic_of[j], dispatch, dispatch_step, PID_SIM,
-                            TID_FRONTEND, cat="dispatch",
-                            args={"iter": it, "i": j},
-                        )
-                    tracer.instant(
-                        mnemonic_of[j], retire, PID_SIM, TID_RETIRE,
-                        cat="retire",
-                        args={"iter": it, "i": j, "dispatch": dispatch,
-                              "exec": finish_exec, "complete": complete,
-                              "retire": retire},
-                    )
-
-                if it < trace_iterations:
-                    trace.append(
-                        TraceEvent(
-                            iteration=it,
-                            index=j,
-                            text=str(instructions[j]),
-                            dispatch=dispatch,
-                            exec_start=finish_exec,
-                            complete=complete,
-                            retire=retire,
-                        )
-                    )
-
-                # -- architectural effects
-                for root in writes[j]:
-                    reg_ready[root] = complete
-                for key, variant in mem_writes_of[j]:
-                    mem_ready[(key, it) if variant else key] = complete
-
-            if it == warmup - 1:
-                mark_cycle = retire_time_prev
-
-        total = retire_time_prev
-        measured = total - mark_cycle if warmup > 0 else total
-        measured *= 1.0 + self.measurement_overhead
-        if profiling:
-            self._publish_profile(
-                prof,
-                wall=time.perf_counter() - wall0,
-                cpu=time.process_time() - cpu0,
-                stalls=stalls,
-                total=total,
-                total_iters=total_iters,
-                n_body=n_body,
-                n_slots=sum(slot_of),
-                dispatch_step=dispatch_step,
-                uop_plans=uop_plans,
-                mnemonic_of=mnemonic_of,
-                port_busy=port_busy,
-                rob_size=rob_size,
-                issue_unit=issue_unit,
-            )
-        return SimulationResult(
-            cycles_per_iteration=measured / iterations,
-            total_cycles=total,
+        return CycleEngine().run(
+            self.plan(instructions, resolved=resolved),
             iterations=iterations,
-            warmup_iterations=warmup,
-            port_busy=port_busy,
-            instructions_retired=total_iters * n_body,
-            trace=trace,
-            stall_cycles=stalls if (collect_stalls or tracing) else None,
+            warmup=warmup,
+            trace_iterations=trace_iterations,
+            tracer=tracer,
+            collect_stalls=collect_stalls,
+            profiler=profiler,
         )
 
-    def _publish_profile(
-        self,
-        prof,
-        *,
-        wall: float,
-        cpu: float,
-        stalls: dict[str, float],
-        total: float,
-        total_iters: int,
-        n_body: int,
-        n_slots: int,
-        dispatch_step: float,
-        uop_plans: list,
-        mnemonic_of: list[str],
-        port_busy: dict[str, float],
-        rob_size: int,
-        issue_unit: "_PortIssueUnit",
-    ) -> None:
-        """Publish one run's deterministic attribution to the profiler.
+    # -- table-derivation compatibility shims --------------------------
+    # The derivations live in repro.simulator.plan now (shared with the
+    # MCA simulator and the analytical engine); these delegates keep
+    # the historical private API importable.
 
-        Everything here is a pure function of the simulated schedule
-        (no wall-clock except the ``simulate`` phase timer), so serial
-        and worker-pool runs produce bit-identical records.  Per-
-        mnemonic µop cycles and ROB occupancy are derived here in
-        closed form — every iteration issues the same per-index µop
-        cycles, and the retire deque is append-only and bounded — so
-        the simulated hot loop carries no profiling branches at all.
-        """
-        prof.record_phase("simulate", wall, cpu)
-        prof.add_cycles(
-            {
-                "frontend.dispatch": total_iters * n_slots * dispatch_step,
-                "frontend.rob_stall": stalls["rob"],
-                "issue.dependency_reg": stalls["dependency.reg"],
-                "issue.dependency_mem": stalls["dependency.mem"],
-                "issue.port_wait": stalls["port"],
-                "issue.divider": stalls["divider"],
-                "issue.special": stalls["special"],
-                "issue.branch": stalls["branch"],
-                "retire.inorder_wait": stalls["retire"],
-                "total": total,
-            }
+    def _dependency_sets(self, instructions: Sequence[Instruction]):
+        return dependency_sets(
+            instructions, self.model, merge_renaming=self.merge_renaming
         )
-        mnem_cycles: dict[str, float] = {}
-        for j in range(n_body):
-            m = mnemonic_of[j]
-            per_iter = sum(cycles for _ports, cycles, _dur in uop_plans[j])
-            mnem_cycles[m] = mnem_cycles.get(m, 0.0) + per_iter * total_iters
-        prof.add_instruction_cycles(mnem_cycles)
-        prof.add_port_cycles(port_busy)
-        n_instr = total_iters * n_body
-        # occupancy before the k-th dynamic instruction is min(k, rob_size)
-        cap = min(n_instr, rob_size)
-        rob_occ_sum = cap * (cap - 1) // 2 + (n_instr - cap) * rob_size
-        prof.add_counter("sim.cycles.total", total)
-        prof.add_counter("sim.instructions", n_instr)
-        prof.add_counter("sim.rob_occupancy_sum", float(rob_occ_sum))
-        prof.add_counter("sim.rob_occupancy_samples", float(n_instr))
-        gap_cycles = sum(
-            g1 - g0
-            for gaps in issue_unit.gaps.values()
-            for g0, g1 in gaps
-        )
-        prof.add_counter("sim.sched_window_gap_cycles", gap_cycles)
-
-    # ------------------------------------------------------------------
-
-    def _dependency_sets(
-        self, instructions: Sequence[Instruction]
-    ) -> tuple[list[tuple[str, ...]], list[tuple[str, ...]]]:
-        """Per-instruction read/write root sets after renaming tricks."""
-        reads: list[tuple[str, ...]] = []
-        writes: list[tuple[str, ...]] = []
-        for ins in instructions:
-            if self.model.zero_idioms and is_zero_idiom(ins):
-                reads.append(())
-                writes.append(ins.register_writes())
-                continue
-            r = list(ins.register_reads())
-            if self.merge_renaming and ins.isa == "aarch64":
-                # Hardware renames away the implicit merge-read on the
-                # destination (all-true predicate fast path); explicit
-                # accumulations keep their chain.
-                from ..analysis.depgraph import _merge_only_reads
-
-                drop = _merge_only_reads(ins)
-                if drop:
-                    r = [x for x in r if x not in drop]
-            reads.append(tuple(r))
-            writes.append(ins.register_writes())
-        return reads, writes
 
     def _effective_latency(self, ins: Instruction, latency: float) -> float:
-        """Latency after renamer tricks.
-
-        A merging-predicated SVE ``mov`` is executed as a zero-latency
-        rename when the merge dependency is droppable — the hardware
-        behaviour behind the paper's Neoverse V2 Gauss-Seidel
-        over-prediction.
-        """
-        if self.merge_renaming and ins.isa == "aarch64":
-            if ins.mnemonic == "mov":
-                from ..analysis.depgraph import _merge_only_reads
-
-                if _merge_only_reads(ins):
-                    return 0.0
-            if ins.mnemonic == "fmov" and self.model.move_elimination:
-                # fmov d,d is a zero-cycle move on Neoverse V2 — the
-                # renaming the paper notes OSACA cannot assume.
-                ops = ins.operands
-                if (
-                    len(ops) == 2
-                    and all(isinstance(o, Register) for o in ops)
-                    and all(o.reg_class.name == "VEC" for o in ops)  # type: ignore[union-attr]
-                ):
-                    return 0.0
-        return latency
-
-    def _split_load_uops(self, ins: Instruction) -> float:
-        """Average cache-line-split replay occupancy for this load.
-
-        A vector load stream whose displacement is not a multiple of the
-        access width crosses a 64-byte boundary on a ``bytes/64``
-        fraction of its iterations, each split costing one extra L1
-        access.  Stencil kernels with ±1-element offsets hit this
-        regularly — one of the structural reasons measurements exceed
-        the static lower bound, which charges a single load µop.
-        """
-        line = 64.0
-        extra = 0.0
-        bytes_ = self.model._access_bytes(ins)
-        if bytes_ < 16:
-            return 0.0
-        for o, a in zip(ins.operands, ins.accesses):
-            if isinstance(o, MemoryOperand) and (a & OperandAccess.READ):
-                if o.displacement % bytes_ != 0:
-                    extra += bytes_ / line
-        return extra
-
-    def _macro_fusion(self, instructions: Sequence[Instruction]) -> list[bool]:
-        """``fused_with_next[i]`` — instruction i fuses with i+1."""
-        out = [False] * len(instructions)
-        if self.model.isa != "x86":
-            return out
-        for i in range(len(instructions) - 1):
-            m = instructions[i].mnemonic.rstrip("bwlq")
-            nxt = instructions[i + 1]
-            if m in ("cmp", "test", "add", "sub", "and", "inc", "dec") and (
-                nxt.is_branch and nxt.mnemonic != "jmp"
-            ):
-                out[i] = True
-        return out
-
-    @staticmethod
-    def _key_variant(
-        ins: Instruction, key: tuple, variant_regs: set[str]
-    ) -> bool:
-        """True if the key's address registers advance within the loop."""
-        base, index = key[0], key[1]
-        return (base in variant_regs) or (index in variant_regs)
-
-    @staticmethod
-    def _mem_key(op: MemoryOperand) -> tuple:
-        return (
-            op.base.root if op.base else None,
-            op.index.root if op.index else None,
-            op.scale,
-            op.displacement,
+        return effective_latency(
+            ins, latency, self.model, merge_renaming=self.merge_renaming
         )
 
+    def _split_load_uops(self, ins: Instruction) -> float:
+        return split_load_uops(ins, self.model)
+
+    def _macro_fusion(self, instructions: Sequence[Instruction]) -> list[bool]:
+        return macro_fusion(instructions, self.model)
+
+    @staticmethod
+    def _key_variant(ins: Instruction, key: tuple, variant_regs: set) -> bool:
+        return key_variant(key, variant_regs)
+
+    @staticmethod
+    def _mem_key(op) -> tuple:
+        return mem_key(op)
+
     def _mem_reads(self, ins: Instruction) -> list[tuple]:
-        return [
-            self._mem_key(o)
-            for o, a in zip(ins.operands, ins.accesses)
-            if isinstance(o, MemoryOperand) and (a & OperandAccess.READ)
-        ]
+        return mem_reads(ins)
 
     def _mem_writes(self, ins: Instruction) -> list[tuple]:
-        return [
-            self._mem_key(o)
-            for o, a in zip(ins.operands, ins.accesses)
-            if isinstance(o, MemoryOperand) and (a & OperandAccess.WRITE)
-        ]
+        return mem_writes(ins)
 
 
 def simulate_kernel(
@@ -743,18 +293,18 @@ def simulate_kernel(
 
     The returned :attr:`SimulationResult.cycles_per_iteration` plays the
     role of the paper's hardware measurement.  ``tracer`` /
-    ``collect_stalls`` forward to :meth:`CoreSimulator.run` for pipeline
+    ``collect_stalls`` forward to :meth:`CycleEngine.run` for pipeline
     tracing and stall attribution (see :mod:`repro.obs`).
     """
     from ..lowering import lower
+    from .plan import plan_for_block
 
     block = lower(source, arch)
-    sim = CoreSimulator(block.model, **kwargs)
-    return sim.run(
-        block.instructions,
+    plan = plan_for_block(block, PlanConfig.make(**kwargs))
+    return CycleEngine().run(
+        plan,
         iterations=iterations,
         warmup=warmup,
         tracer=tracer,
         collect_stalls=collect_stalls,
-        resolved=block.resolved,
     )

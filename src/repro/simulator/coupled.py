@@ -26,13 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..isa import parse_kernel
 from ..kernels.codegen import generate_assembly
 from ..kernels.personas import PERSONAS, CompilerPersona
 from ..kernels.suite import KernelSpec
-from ..machine import get_chip_spec, get_machine_model
+from ..machine import get_chip_spec
 from ..machine.specs import ChipSpec
 from .core import CoreSimulator
+from .engine import CycleEngine
+from .plan import PlanConfig, plan_for_block
 
 #: inter-level bandwidths in bytes/cycle per core (L2 and L3 paths);
 #: memory bandwidth comes from the chip spec
@@ -111,9 +112,10 @@ def simulate_with_memory(
     elif spec.uarch != "neoverse_v2" and p.isa != "x86":
         p = PERSONAS["gcc"]
 
-    model = get_machine_model(spec.uarch)
+    from ..lowering import lower
+
     asm = generate_assembly(kernel, p, opt, spec.uarch)
-    instrs = parse_kernel(asm, model.isa)
+    block = lower(asm, spec.uarch)
 
     # elements per iteration from the store/load count ratio
     cfg = p.config(opt)
@@ -164,25 +166,26 @@ def simulate_with_memory(
             mem_cycles += per_elem * elems / bw
             bytes_iter = per_elem * elems
 
-    core = CoreSimulator(
-        model, issue_efficiency=1.0, dispatch_efficiency=1.0,
-        measurement_overhead=0.0,
-    ).run(instrs, iterations=iterations, warmup=40)
-
-    sim = MemoryCoupledSimulator(
-        model,
-        memory_cycles_per_iteration=mem_cycles,
-        issue_efficiency=1.0,
-        dispatch_efficiency=1.0,
-        measurement_overhead=0.0,
+    # one shared (memoized) plan feeds both the clean core run and the
+    # coupled one — the tables are derived exactly once per block
+    plan = plan_for_block(
+        block,
+        PlanConfig.make(
+            issue_efficiency=1.0, dispatch_efficiency=1.0,
+            measurement_overhead=0.0,
+        ),
     )
-    coupled = sim.run(instrs, iterations=iterations, warmup=40)
+    core = CycleEngine().run(plan, iterations=iterations, warmup=40)
+
+    # interface and core overlap (prefetched streams): steady state is
+    # the max of the two rates
+    coupled_cpi = max(core.cycles_per_iteration, mem_cycles)
 
     return CoupledResult(
         kernel=kernel.name,
         chip=spec.chip,
         level=level,
-        cycles_per_iteration=coupled.cycles_per_iteration,
+        cycles_per_iteration=coupled_cpi,
         core_cycles=core.cycles_per_iteration,
         memory_cycles=mem_cycles,
         bytes_per_iteration=bytes_iter,

@@ -1,0 +1,481 @@
+"""The cycle-accurate engine: replays a :class:`~repro.simulator.plan.UopPlan`.
+
+Stage two of the staged simulator pipeline.  The engine owns only the
+*dynamic* state — port timelines, divider/special availability,
+register and memory readiness, the reorder buffer — and walks the
+plan's precomputed tables iteration by iteration.  The loop body is the
+exact float arithmetic of the historical monolithic
+``CoreSimulator.run`` (same operations, same order), so results are
+bit-identical to every committed golden: cycles, stall attribution,
+and the profiler's deterministic cycle attribution.
+
+Mechanisms modeled (see :mod:`repro.simulator.core` for the catalogue):
+in-order fused-domain dispatch, greedy µop→port binding with gap
+backfill and a finite scheduler window, non-pipelined divider,
+serialized special ops, ≤1 taken branch per interval, finite ROB with
+in-order retirement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .plan import UopPlan
+
+
+@dataclass
+class TraceEvent:
+    """Timing of one dynamic instruction instance (timeline view)."""
+
+    iteration: int
+    index: int
+    text: str
+    dispatch: float
+    exec_start: float
+    complete: float
+    retire: float
+
+
+@dataclass
+class SimulationResult:
+    """Steady-state outcome of simulating a loop body."""
+
+    cycles_per_iteration: float
+    total_cycles: float
+    iterations: int
+    warmup_iterations: int
+    port_busy: dict[str, float]
+    instructions_retired: int
+    trace: list[TraceEvent] = None  # type: ignore[assignment]
+    #: per-cause stall attribution in cycles, populated when the run
+    #: collects stats (``collect_stalls=True`` or an enabled tracer)
+    stall_cycles: Optional[dict[str, float]] = None
+
+    @property
+    def ipc(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.instructions_retired / self.total_cycles
+
+
+class _PortIssueUnit:
+    """Port availability with gap backfill.
+
+    Real OoO schedulers are greedy *per cycle*: an older µop with a
+    far-future ready time does not reserve the port — younger ready µops
+    backfill the idle cycles.  We model each port as a busy timeline
+    with explicit gaps; a µop issues into the earliest gap (or at the
+    tail) no earlier than its ready time.  Gaps older than the
+    scheduler window are pruned — hardware cannot hold arbitrarily many
+    waiting µops, so very old idle cycles are genuinely lost.
+    """
+
+    #: gaps shorter than the smallest µop occupancy can never be filled
+    GAP_MIN = 0.5
+
+    def __init__(self, ports, window: float = 128.0):
+        self.tail = {p: 0.0 for p in ports}
+        self.gaps: dict[str, list[list[float]]] = {p: [] for p in ports}
+        self.window = window
+
+    def _best_start(self, port: str, ready: float, dur: float):
+        tail = self.tail[port]
+        if ready >= tail:
+            # no gap ends after the tail: append directly
+            return ready, None
+        for k, (g0, g1) in enumerate(self.gaps[port]):
+            start = g0 if g0 > ready else ready
+            if start + dur <= g1:
+                return start, k
+        return tail if tail > ready else ready, None
+
+    def issue(self, candidates, ready: float, dur: float):
+        """Place a µop; returns (start_time, port)."""
+        if dur <= 0:
+            return ready, candidates[0]
+        if len(candidates) == 1:
+            best = (*self._best_start(candidates[0], ready, dur), candidates[0])
+            start, gap_idx, port = best
+        else:
+            best = None
+            for p in candidates:
+                start, gap_idx = self._best_start(p, ready, dur)
+                if best is None or start < best[0]:
+                    best = (start, gap_idx, p)
+                    if start <= ready:  # cannot do better than 'ready'
+                        break
+            start, gap_idx, port = best
+        if gap_idx is None:
+            tail = self.tail[port]
+            if start - tail >= self.GAP_MIN:
+                self.gaps[port].append([tail, start])
+            self.tail[port] = start + dur
+        else:
+            g0, g1 = self.gaps[port][gap_idx]
+            repl = []
+            if start - g0 >= self.GAP_MIN:
+                repl.append([g0, start])
+            if g1 - (start + dur) >= self.GAP_MIN:
+                repl.append([start + dur, g1])
+            self.gaps[port][gap_idx:gap_idx + 1] = repl
+        return start, port
+
+    def advance(self, now: float) -> None:
+        """Prune gaps that fell out of the scheduler window."""
+        horizon = now - self.window
+        if horizon <= 0:
+            return
+        for p, gaps in self.gaps.items():
+            if gaps and gaps[0][1] < horizon:
+                self.gaps[p] = [g for g in gaps if g[1] >= horizon]
+
+
+class CycleEngine:
+    """Cycle-accurate execution of a prepared :class:`UopPlan`."""
+
+    def run(
+        self,
+        plan: UopPlan,
+        iterations: int = 200,
+        warmup: int = 50,
+        trace_iterations: int = 0,
+        *,
+        tracer=None,
+        collect_stalls: bool = False,
+        profiler=None,
+    ) -> SimulationResult:
+        """Execute ``warmup + iterations`` iterations; measure the tail.
+
+        Steady-state cycles/iteration is the slope between the retire
+        time of the last warmup iteration and the final iteration.
+        With ``trace_iterations > 0``, per-instance timing events for
+        the first iterations are collected (the llvm-mca-style
+        timeline; see :mod:`repro.simulator.timeline`).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records every dynamic
+        instruction as Chrome trace events: dispatch slots on the
+        frontend lane, µop slices on per-port lanes, retire instants,
+        and cause-attributed stall events.  ``collect_stalls`` fills
+        :attr:`SimulationResult.stall_cycles` without tracing.
+        ``profiler`` (a :class:`repro.obs.prof.PhaseProfiler`; when
+        ``None`` the ambient one is consulted) receives deterministic
+        sub-phase cycle attribution — frontend dispatch, ROB
+        backpressure, issue/port waits, retire — plus per-mnemonic µop
+        cycles, per-port occupancy, and ROB/scheduler-window
+        accounting.  All three default off and then cost nothing: the
+        hot loop only tests hoisted booleans.
+        """
+        if iterations < 1:
+            raise ValueError("need at least one measured iteration")
+
+        n_body = plan.n_body
+        total_iters = warmup + iterations
+
+        issue_unit = _PortIssueUnit(plan.ports, window=plan.scheduler_window)
+        port_busy: dict[str, float] = {p: 0.0 for p in plan.ports}
+        divider_free = 0.0
+        special_free: dict[str, float] = {}
+        reg_ready: dict[str, float] = {}
+        mem_ready: dict[tuple, float] = {}
+        last_branch = -1e9
+
+        frontend_time = 0.0
+        rob_size = plan.rob_size
+        rob_retire: deque[float] = deque(maxlen=rob_size)
+        retire_time_prev = 0.0
+        dispatch_step = plan.dispatch_step
+        retire_step = plan.retire_step
+
+        # hoisted plan tables (locals are faster than attribute loads)
+        slot_of = plan.slot_of
+        uop_plans = plan.uop_plans
+        divider_occ = plan.divider_occ
+        eff_latency = plan.eff_latency
+        load_lat = plan.load_lat
+        is_branch_of = plan.is_branch_of
+        special_of = plan.special_of
+        mnemonic_of = plan.mnemonic_of
+        reads = plan.reads
+        writes = plan.writes
+        mem_reads_of = plan.mem_reads_of
+        mem_writes_of = plan.mem_writes_of
+
+        # Observability is opt-in and hoisted: with all flags off the
+        # loop below pays only local boolean tests per instruction.
+        tracing = tracer is not None and getattr(tracer, "enabled", False)
+        prof = profiler
+        if prof is None:
+            from ..obs.prof import active_profiler
+
+            prof = active_profiler()
+        profiling = prof is not None and prof.enabled
+        collect = collect_stalls or tracing or profiling
+        stalls: Optional[dict[str, float]] = None
+        if collect:
+            stalls = {
+                "rob": 0.0, "dependency.reg": 0.0, "dependency.mem": 0.0,
+                "port": 0.0, "divider": 0.0, "special": 0.0,
+                "branch": 0.0, "retire": 0.0,
+            }
+        if profiling:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+        if tracing:
+            from ..obs.trace import (
+                PID_SIM,
+                TID_FRONTEND,
+                TID_RETIRE,
+                TID_STALL,
+            )
+
+            port_tid = tracer.sim_lanes(plan.ports)
+
+        # hoisted bound methods / scalars of the cycle loop
+        issue = issue_unit.issue
+        advance = issue_unit.advance
+        rob_append = rob_retire.append
+        tb_interval = plan.config.taken_branch_interval
+
+        mark_cycle = 0.0
+        trace: list[TraceEvent] = []
+        for it in range(total_iters):
+            for j in range(n_body):
+                # -- frontend: fused-domain dispatch slots
+                slot_consumed = slot_of[j]
+                if slot_consumed:
+                    frontend_time += dispatch_step
+                dispatch = frontend_time
+
+                # -- ROB backpressure: the slot of the instruction
+                # rob_size back must have retired
+                if len(rob_retire) == rob_size:
+                    if collect and rob_retire[0] > dispatch:
+                        stalls["rob"] += rob_retire[0] - dispatch
+                        if tracing:
+                            tracer.instant(
+                                "stall:rob", dispatch, PID_SIM, TID_STALL,
+                                cat="stall",
+                                args={"cycles": rob_retire[0] - dispatch,
+                                      "i": j},
+                            )
+                    dispatch = max(dispatch, rob_retire[0])
+                    frontend_time = max(frontend_time, dispatch)
+
+                # -- operand readiness
+                ready = dispatch
+                for root in reads[j]:
+                    ready = max(ready, reg_ready.get(root, 0.0))
+                for key, variant in mem_reads_of[j]:
+                    k = (key, it) if variant else key
+                    ready = max(ready, mem_ready.get(k, 0.0))
+                if collect and ready > dispatch:
+                    # attribute the wait: register bound first, any rest
+                    # is memory (store-forwarding) dependences
+                    reg_t = dispatch
+                    for root in reads[j]:
+                        rr = reg_ready.get(root, 0.0)
+                        if rr > reg_t:
+                            reg_t = rr
+                    if reg_t > dispatch:
+                        stalls["dependency.reg"] += reg_t - dispatch
+                    if ready > reg_t:
+                        stalls["dependency.mem"] += ready - reg_t
+                    if tracing:
+                        tracer.instant(
+                            "stall:dependency", dispatch, PID_SIM, TID_STALL,
+                            cat="stall",
+                            args={"cycles": ready - dispatch,
+                                  "registers": reg_t - dispatch,
+                                  "memory": ready - reg_t, "i": j},
+                        )
+
+                # -- issue µops greedily (plus split-load replays)
+                finish_exec = ready
+                for ports, cycles, dur in uop_plans[j]:
+                    start, chosen = issue(ports, ready, dur)
+                    port_busy[chosen] += cycles
+                    finish_exec = max(finish_exec, start)
+                    if tracing and dur > 0:
+                        tracer.complete(
+                            mnemonic_of[j], start, dur, PID_SIM,
+                            port_tid[chosen], cat="uop",
+                            args={"iter": it, "i": j},
+                        )
+                advance(dispatch)
+                if collect and finish_exec > ready:
+                    stalls["port"] += finish_exec - ready
+                    if tracing:
+                        tracer.instant(
+                            "stall:port", ready, PID_SIM, TID_STALL,
+                            cat="stall",
+                            args={"cycles": finish_exec - ready, "i": j},
+                        )
+
+                divider = divider_occ[j]
+                if divider:
+                    start = max(divider_free, ready)
+                    if collect and start > ready:
+                        stalls["divider"] += start - ready
+                        if tracing:
+                            tracer.instant(
+                                "stall:divider", ready, PID_SIM, TID_STALL,
+                                cat="stall",
+                                args={"cycles": start - ready, "i": j},
+                            )
+                    divider_free = start + divider
+                    finish_exec = max(finish_exec, start)
+
+                throughput = special_of[j]
+                if throughput is not None:
+                    key2 = mnemonic_of[j]
+                    start = max(special_free.get(key2, 0.0), ready)
+                    if collect and start > ready:
+                        stalls["special"] += start - ready
+                    special_free[key2] = start + throughput
+                    finish_exec = max(finish_exec, start)
+
+                if is_branch_of[j]:
+                    start = max(finish_exec, last_branch + tb_interval)
+                    if collect and start > finish_exec:
+                        stalls["branch"] += start - finish_exec
+                    last_branch = start
+                    finish_exec = start
+
+                complete = finish_exec + eff_latency[j]
+                if load_lat[j] is not None:
+                    complete += load_lat[j]
+
+                # -- retire in order
+                retire = max(complete, retire_time_prev + retire_step)
+                if collect and retire > complete:
+                    stalls["retire"] += retire - complete
+                retire_time_prev = retire
+                rob_append(retire)
+
+                if tracing:
+                    if slot_consumed:
+                        tracer.complete(
+                            mnemonic_of[j], dispatch, dispatch_step, PID_SIM,
+                            TID_FRONTEND, cat="dispatch",
+                            args={"iter": it, "i": j},
+                        )
+                    tracer.instant(
+                        mnemonic_of[j], retire, PID_SIM, TID_RETIRE,
+                        cat="retire",
+                        args={"iter": it, "i": j, "dispatch": dispatch,
+                              "exec": finish_exec, "complete": complete,
+                              "retire": retire},
+                    )
+
+                if it < trace_iterations:
+                    trace.append(
+                        TraceEvent(
+                            iteration=it,
+                            index=j,
+                            text=str(plan.instructions[j]),
+                            dispatch=dispatch,
+                            exec_start=finish_exec,
+                            complete=complete,
+                            retire=retire,
+                        )
+                    )
+
+                # -- architectural effects
+                for root in writes[j]:
+                    reg_ready[root] = complete
+                for key, variant in mem_writes_of[j]:
+                    mem_ready[(key, it) if variant else key] = complete
+
+            if it == warmup - 1:
+                mark_cycle = retire_time_prev
+
+        total = retire_time_prev
+        measured = total - mark_cycle if warmup > 0 else total
+        measured *= 1.0 + plan.config.measurement_overhead
+        if profiling:
+            _publish_profile(
+                prof,
+                wall=time.perf_counter() - wall0,
+                cpu=time.process_time() - cpu0,
+                stalls=stalls,
+                total=total,
+                total_iters=total_iters,
+                plan=plan,
+                port_busy=port_busy,
+                issue_unit=issue_unit,
+            )
+        return SimulationResult(
+            cycles_per_iteration=measured / iterations,
+            total_cycles=total,
+            iterations=iterations,
+            warmup_iterations=warmup,
+            port_busy=port_busy,
+            instructions_retired=total_iters * n_body,
+            trace=trace,
+            stall_cycles=stalls if (collect_stalls or tracing) else None,
+        )
+
+
+def _publish_profile(
+    prof,
+    *,
+    wall: float,
+    cpu: float,
+    stalls: dict[str, float],
+    total: float,
+    total_iters: int,
+    plan: UopPlan,
+    port_busy: dict[str, float],
+    issue_unit: "_PortIssueUnit",
+) -> None:
+    """Publish one run's deterministic attribution to the profiler.
+
+    Everything here is a pure function of the simulated schedule
+    (no wall-clock except the ``simulate`` phase timer), so serial
+    and worker-pool runs produce bit-identical records.  Per-
+    mnemonic µop cycles and ROB occupancy are derived here in
+    closed form — every iteration issues the same per-index µop
+    cycles, and the retire deque is append-only and bounded — so
+    the simulated hot loop carries no profiling branches at all.
+    """
+    n_body = plan.n_body
+    rob_size = plan.rob_size
+    prof.record_phase("simulate", wall, cpu)
+    prof.add_cycles(
+        {
+            "frontend.dispatch": total_iters * plan.n_slots * plan.dispatch_step,
+            "frontend.rob_stall": stalls["rob"],
+            "issue.dependency_reg": stalls["dependency.reg"],
+            "issue.dependency_mem": stalls["dependency.mem"],
+            "issue.port_wait": stalls["port"],
+            "issue.divider": stalls["divider"],
+            "issue.special": stalls["special"],
+            "issue.branch": stalls["branch"],
+            "retire.inorder_wait": stalls["retire"],
+            "total": total,
+        }
+    )
+    mnem_cycles: dict[str, float] = {}
+    for j in range(n_body):
+        m = plan.mnemonic_of[j]
+        per_iter = sum(cycles for _ports, cycles, _dur in plan.uop_plans[j])
+        mnem_cycles[m] = mnem_cycles.get(m, 0.0) + per_iter * total_iters
+    prof.add_instruction_cycles(mnem_cycles)
+    prof.add_port_cycles(port_busy)
+    n_instr = total_iters * n_body
+    # occupancy before the k-th dynamic instruction is min(k, rob_size)
+    cap = min(n_instr, rob_size)
+    rob_occ_sum = cap * (cap - 1) // 2 + (n_instr - cap) * rob_size
+    prof.add_counter("sim.cycles.total", total)
+    prof.add_counter("sim.instructions", n_instr)
+    prof.add_counter("sim.rob_occupancy_sum", float(rob_occ_sum))
+    prof.add_counter("sim.rob_occupancy_samples", float(n_instr))
+    gap_cycles = sum(
+        g1 - g0
+        for gaps in issue_unit.gaps.values()
+        for g0, g1 in gaps
+    )
+    prof.add_counter("sim.sched_window_gap_cycles", gap_cycles)

@@ -1,0 +1,469 @@
+"""The µop plan: everything iteration-invariant about one loop body.
+
+Stage one of the staged simulator pipeline.  A :class:`UopPlan` is the
+per-body-index precomputation PR 7 first hoisted out of the cycle loop
+— µop schedules with pre-scaled port occupancies, divider/latency/
+branch tables, register and memory dependency edges, macro-fusion
+slots — promoted to a first-class IR built **once** per
+:class:`~repro.lowering.LoweredBlock` and shared by every consumer:
+
+* :class:`~repro.simulator.engine.CycleEngine` — the cycle-accurate
+  engine replays the plan iteration by iteration,
+* :mod:`~repro.simulator.steadystate` — the analytical engine derives
+  per-iteration throughput bounds directly from the plan's tables,
+* :mod:`~repro.simulator.timeline` / :mod:`~repro.simulator.coupled` —
+  build the plan once and run the engine against it,
+* :class:`~repro.mca.simulator.MCASimulator` — shares the memory-key
+  helpers so aliasing semantics can never drift between simulators.
+
+Every precomputed float reproduces the exact value the old inline
+expression produced (same operations, same order), so the
+cycle-accurate path downstream of a plan is bit-identical to the
+monolithic simulator it replaced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..isa.idioms import is_zero_idiom
+from ..isa.instruction import Instruction, OperandAccess
+from ..isa.operands import MemoryOperand, Register
+from ..machine import MachineModel
+from ..machine.model import ResolvedInstruction, Uop
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lowering import LoweredBlock
+
+#: measured divider occupancies that beat the machine-model value
+#: (uarch name, mnemonic) -> cycles.  The paper: "the π kernel for
+#: Zen 4, where our model assumes a lower throughput for the scalar
+#: divide than we measure".
+DEFAULT_DIVIDER_OVERRIDES: dict[tuple[str, str], float] = {
+    ("zen4", "divsd"): 4.0,
+    ("zen4", "vdivsd"): 4.0,
+}
+
+#: plan memo capacity; same sizing rationale as the lowering memo
+PLAN_MEMO_CAP = 4096
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Simulation knobs that shape a plan (hashable memo component).
+
+    The fields mirror :class:`~repro.simulator.core.CoreSimulator`'s
+    constructor; ``divider_overrides`` is stored as a sorted tuple so
+    configs hash and compare structurally.
+    """
+
+    merge_renaming: bool = True
+    divider_overrides: tuple[tuple[tuple[str, str], float], ...] = tuple(
+        sorted(DEFAULT_DIVIDER_OVERRIDES.items())
+    )
+    taken_branch_interval: float = 1.0
+    issue_efficiency: float = 0.88
+    dispatch_efficiency: float = 0.92
+    measurement_overhead: float = 0.02
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        merge_renaming: bool = True,
+        divider_overrides: Optional[dict[tuple[str, str], float]] = None,
+        taken_branch_interval: float = 1.0,
+        issue_efficiency: float = 0.88,
+        dispatch_efficiency: float = 0.92,
+        measurement_overhead: float = 0.02,
+    ) -> "PlanConfig":
+        """Normalize simulator-style kwargs (dict overrides, None=default)."""
+        ov = (
+            DEFAULT_DIVIDER_OVERRIDES
+            if divider_overrides is None
+            else divider_overrides
+        )
+        if isinstance(ov, dict):
+            ov = tuple(sorted(ov.items()))
+        return cls(
+            merge_renaming=merge_renaming,
+            divider_overrides=tuple(ov),
+            taken_branch_interval=taken_branch_interval,
+            issue_efficiency=issue_efficiency,
+            dispatch_efficiency=dispatch_efficiency,
+            measurement_overhead=measurement_overhead,
+        )
+
+    @property
+    def overrides_dict(self) -> dict[tuple[str, str], float]:
+        return dict(self.divider_overrides)
+
+
+@dataclass(frozen=True)
+class UopPlan:
+    """Iteration-invariant schedule tables for one loop body.
+
+    All per-instruction sequences are index-aligned tuples of length
+    ``n_body``; the engine's cycle loop reads them and nothing else.
+    """
+
+    model: MachineModel
+    config: PlanConfig
+    instructions: tuple[Instruction, ...]
+    n_body: int
+    #: fused-domain dispatch: True when index j consumes a frontend slot
+    slot_of: tuple[bool, ...]
+    n_slots: int
+    #: per instruction: ((ports, cycles, cycles*occupancy_scale), ...)
+    #: including the synthesized cache-line-split replay µop
+    uop_plans: tuple[tuple[tuple, ...], ...]
+    #: non-pipelined divider occupancy (0.0 = not a divide), overrides applied
+    divider_occ: tuple[float, ...]
+    #: result latency after renamer tricks (SVE merge mov, fmov elimination)
+    eff_latency: tuple[float, ...]
+    #: load-to-use latency, or None when the instruction loads nothing
+    load_lat: tuple[Optional[float], ...]
+    is_branch_of: tuple[bool, ...]
+    #: serialized special-op reciprocal throughput (gathers), or None
+    special_of: tuple[Optional[float], ...]
+    mnemonic_of: tuple[str, ...]
+    #: register RAW roots read / written, after zero-idiom + merge renaming
+    reads: tuple[tuple[str, ...], ...]
+    writes: tuple[tuple[str, ...], ...]
+    #: memory keys read / written: ((key, loop_variant), ...) per index
+    mem_reads_of: tuple[tuple[tuple, ...], ...]
+    mem_writes_of: tuple[tuple[tuple, ...], ...]
+    #: derived scalars of the configured machine (exact simulator floats)
+    dispatch_step: float
+    retire_step: float
+    occupancy_scale: float
+    rob_size: int
+    scheduler_window: float
+    ports: tuple[str, ...]
+
+    @property
+    def n_branches(self) -> int:
+        return sum(self.is_branch_of)
+
+    def uop_cycles_per_iteration(self) -> float:
+        """Unscaled µop cycles issued per iteration (profiler accounting)."""
+        return sum(
+            cycles for plan in self.uop_plans for _p, cycles, _d in plan
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared per-instruction table derivations
+#
+# These were private CoreSimulator methods; MCASimulator duplicated the
+# memory-key trio verbatim.  They live here now so every simulator and
+# the analytical engine derive identical tables from one code path.
+# ---------------------------------------------------------------------------
+
+
+def mem_key(op: MemoryOperand) -> tuple:
+    """Structural identity of an address expression (aliasing key)."""
+    return (
+        op.base.root if op.base else None,
+        op.index.root if op.index else None,
+        op.scale,
+        op.displacement,
+    )
+
+
+def mem_reads(ins: Instruction) -> list[tuple]:
+    """Memory keys this instruction loads from."""
+    return [
+        mem_key(o)
+        for o, a in zip(ins.operands, ins.accesses)
+        if isinstance(o, MemoryOperand) and (a & OperandAccess.READ)
+    ]
+
+
+def mem_writes(ins: Instruction) -> list[tuple]:
+    """Memory keys this instruction stores to."""
+    return [
+        mem_key(o)
+        for o, a in zip(ins.operands, ins.accesses)
+        if isinstance(o, MemoryOperand) and (a & OperandAccess.WRITE)
+    ]
+
+
+def key_variant(key: tuple, variant_regs: set[str]) -> bool:
+    """True if the key's address registers advance within the loop."""
+    base, index = key[0], key[1]
+    return (base in variant_regs) or (index in variant_regs)
+
+
+def dependency_sets(
+    instructions: Sequence[Instruction],
+    model: MachineModel,
+    merge_renaming: bool = True,
+) -> tuple[list[tuple[str, ...]], list[tuple[str, ...]]]:
+    """Per-instruction read/write root sets after renaming tricks."""
+    reads: list[tuple[str, ...]] = []
+    writes: list[tuple[str, ...]] = []
+    for ins in instructions:
+        if model.zero_idioms and is_zero_idiom(ins):
+            reads.append(())
+            writes.append(ins.register_writes())
+            continue
+        r = list(ins.register_reads())
+        if merge_renaming and ins.isa == "aarch64":
+            # Hardware renames away the implicit merge-read on the
+            # destination (all-true predicate fast path); explicit
+            # accumulations keep their chain.
+            from ..analysis.depgraph import _merge_only_reads
+
+            drop = _merge_only_reads(ins)
+            if drop:
+                r = [x for x in r if x not in drop]
+        reads.append(tuple(r))
+        writes.append(ins.register_writes())
+    return reads, writes
+
+
+def effective_latency(
+    ins: Instruction,
+    latency: float,
+    model: MachineModel,
+    merge_renaming: bool = True,
+) -> float:
+    """Latency after renamer tricks.
+
+    A merging-predicated SVE ``mov`` is executed as a zero-latency
+    rename when the merge dependency is droppable — the hardware
+    behaviour behind the paper's Neoverse V2 Gauss-Seidel
+    over-prediction.
+    """
+    if merge_renaming and ins.isa == "aarch64":
+        if ins.mnemonic == "mov":
+            from ..analysis.depgraph import _merge_only_reads
+
+            if _merge_only_reads(ins):
+                return 0.0
+        if ins.mnemonic == "fmov" and model.move_elimination:
+            # fmov d,d is a zero-cycle move on Neoverse V2 — the
+            # renaming the paper notes OSACA cannot assume.
+            ops = ins.operands
+            if (
+                len(ops) == 2
+                and all(isinstance(o, Register) for o in ops)
+                and all(o.reg_class.name == "VEC" for o in ops)  # type: ignore[union-attr]
+            ):
+                return 0.0
+    return latency
+
+
+def split_load_uops(ins: Instruction, model: MachineModel) -> float:
+    """Average cache-line-split replay occupancy for this load.
+
+    A vector load stream whose displacement is not a multiple of the
+    access width crosses a 64-byte boundary on a ``bytes/64``
+    fraction of its iterations, each split costing one extra L1
+    access.  Stencil kernels with ±1-element offsets hit this
+    regularly — one of the structural reasons measurements exceed
+    the static lower bound, which charges a single load µop.
+    """
+    line = 64.0
+    extra = 0.0
+    bytes_ = model._access_bytes(ins)
+    if bytes_ < 16:
+        return 0.0
+    for o, a in zip(ins.operands, ins.accesses):
+        if isinstance(o, MemoryOperand) and (a & OperandAccess.READ):
+            if o.displacement % bytes_ != 0:
+                extra += bytes_ / line
+    return extra
+
+
+def macro_fusion(
+    instructions: Sequence[Instruction], model: MachineModel
+) -> list[bool]:
+    """``fused_with_next[i]`` — instruction i fuses with i+1."""
+    out = [False] * len(instructions)
+    if model.isa != "x86":
+        return out
+    for i in range(len(instructions) - 1):
+        m = instructions[i].mnemonic.rstrip("bwlq")
+        nxt = instructions[i + 1]
+        if m in ("cmp", "test", "add", "sub", "and", "inc", "dec") and (
+            nxt.is_branch and nxt.mnemonic != "jmp"
+        ):
+            out[i] = True
+    return out
+
+
+# ---------------------------------------------------------------------------
+# plan construction
+# ---------------------------------------------------------------------------
+
+
+def build_uop_plan(
+    instructions: Sequence[Instruction],
+    model: MachineModel,
+    *,
+    resolved: Optional[Sequence[ResolvedInstruction]] = None,
+    config: Optional[PlanConfig] = None,
+) -> UopPlan:
+    """Derive every iteration-invariant table for one loop body.
+
+    ``resolved`` accepts the lowering pipeline's pre-resolved bindings
+    (treated read-only); without it, instructions are resolved here.
+    """
+    cfg = config or PlanConfig()
+    resolved = (
+        [model.resolve(i) for i in instructions]
+        if resolved is None
+        else list(resolved)
+    )
+    instructions = tuple(instructions)
+    n_body = len(instructions)
+
+    reads, writes = dependency_sets(
+        instructions, model, merge_renaming=cfg.merge_renaming
+    )
+    split_extra = [split_load_uops(i, model) for i in instructions]
+
+    # Memory keys whose address registers advance every iteration
+    # alias only within an iteration (see analysis.depgraph).
+    variant_regs: set[str] = set()
+    for ins in instructions:
+        variant_regs.update(ins.register_writes())
+    mem_reads_of = []
+    mem_writes_of = []
+    for ins in instructions:
+        mem_reads_of.append(
+            tuple((k, key_variant(k, variant_regs)) for k in mem_reads(ins))
+        )
+        mem_writes_of.append(
+            tuple((k, key_variant(k, variant_regs)) for k in mem_writes(ins))
+        )
+
+    fused_with_next = macro_fusion(instructions, model)
+    slot_of = tuple(
+        j == 0 or not fused_with_next[j - 1] for j in range(n_body)
+    )
+
+    dispatch_step = 1.0 / (model.dispatch_width * cfg.dispatch_efficiency)
+    retire_step = 1.0 / model.retire_width
+    occupancy_scale = 1.0 / cfg.issue_efficiency
+
+    load_ports = model.load_ports
+    model_name = model.name
+    divider_get = cfg.overrides_dict.get
+    uop_plans: list[tuple[tuple, ...]] = []
+    divider_occ: list[float] = []
+    eff_latency: list[float] = []
+    load_lat: list[Optional[float]] = []
+    is_branch_of: list[bool] = []
+    special_of: list[Optional[float]] = []
+    mnemonic_of: list[str] = []
+    for j in range(n_body):
+        ins = instructions[j]
+        r = resolved[j]
+        extra = split_extra[j]
+        uops = r.uops
+        if extra > 0:
+            uops = r.uops + (Uop(ports=load_ports, cycles=extra),)
+        uop_plans.append(
+            tuple((u.ports, u.cycles, u.cycles * occupancy_scale) for u in uops)
+        )
+        div = r.divider
+        if div:
+            override = divider_get((model_name, ins.mnemonic))
+            if override is not None:
+                div = override
+        divider_occ.append(div)
+        eff_latency.append(
+            effective_latency(
+                ins, r.latency, model, merge_renaming=cfg.merge_renaming
+            )
+        )
+        load_lat.append(r.load_latency if r.n_loads else None)
+        is_branch_of.append(ins.is_branch)
+        special_of.append(r.throughput)
+        mnemonic_of.append(ins.mnemonic)
+
+    return UopPlan(
+        model=model,
+        config=cfg,
+        instructions=instructions,
+        n_body=n_body,
+        slot_of=slot_of,
+        n_slots=sum(slot_of),
+        uop_plans=tuple(uop_plans),
+        divider_occ=tuple(divider_occ),
+        eff_latency=tuple(eff_latency),
+        load_lat=tuple(load_lat),
+        is_branch_of=tuple(is_branch_of),
+        special_of=tuple(special_of),
+        mnemonic_of=tuple(mnemonic_of),
+        reads=tuple(reads),
+        writes=tuple(writes),
+        mem_reads_of=tuple(mem_reads_of),
+        mem_writes_of=tuple(mem_writes_of),
+        dispatch_step=dispatch_step,
+        retire_step=retire_step,
+        occupancy_scale=occupancy_scale,
+        rob_size=model.rob_size,
+        scheduler_window=float(model.scheduler_size),
+        ports=model.ports,
+    )
+
+
+# -- per-block memo --------------------------------------------------------
+
+_PLAN_MEMO: "OrderedDict[tuple, UopPlan]" = OrderedDict()
+
+
+def plan_for_block(
+    block: "LoweredBlock", config: Optional[PlanConfig] = None
+) -> UopPlan:
+    """The plan for a lowered block (memoized per block × config).
+
+    The memo key is the block's identity (assembly digest × model
+    digest — the same pair the lowering memo and the engine's on-disk
+    cache use) extended with the plan config, so the cycle engine, the
+    analytical engine, the timeline, and the fast-path dispatch all
+    share one plan per block instead of re-deriving tables.
+    """
+    cfg = config or PlanConfig()
+    key = (block.key, cfg)
+    plan = _PLAN_MEMO.get(key)
+    if plan is not None:
+        _PLAN_MEMO.move_to_end(key)
+        return plan
+    plan = build_uop_plan(
+        block.instructions, block.model, resolved=block.resolved, config=cfg
+    )
+    _PLAN_MEMO[key] = plan
+    while len(_PLAN_MEMO) > PLAN_MEMO_CAP:
+        _PLAN_MEMO.popitem(last=False)
+    return plan
+
+
+def plan_for(
+    source_or_block: Union[str, "LoweredBlock"],
+    arch: Union[str, MachineModel, None] = None,
+    config: Optional[PlanConfig] = None,
+) -> UopPlan:
+    """Convenience: lower (if needed) and plan in one call."""
+    from ..lowering import LoweredBlock, lower
+
+    if isinstance(source_or_block, LoweredBlock):
+        return plan_for_block(source_or_block, config)
+    if arch is None:
+        raise ValueError("plan_for(source, arch): arch is required for text")
+    return plan_for_block(lower(source_or_block, arch), config)
+
+
+def clear_plan_memo() -> None:
+    """Drop every memoized plan (tests; perf-case cold starts)."""
+    _PLAN_MEMO.clear()
+
+
+def plan_memo_len() -> int:
+    return len(_PLAN_MEMO)

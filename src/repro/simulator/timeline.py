@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..machine import MachineModel
-from .core import CoreSimulator, TraceEvent
+from .engine import CycleEngine, TraceEvent
+from .plan import PlanConfig, plan_for_block
 
 
 def render_timeline(
@@ -72,16 +73,20 @@ def timeline(
     iterations: int = 4,
     **sim_kwargs,
 ) -> str:
-    """Parse, simulate, and render the timeline of the first iterations."""
+    """Parse, simulate, and render the timeline of the first iterations.
+
+    Consumes the shared (memoized) :class:`~repro.simulator.plan.UopPlan`
+    rather than re-deriving the per-instruction tables, so a timeline of
+    a block the analyzer already touched costs only the engine replay.
+    """
     from ..lowering import lower
 
     block = lower(source, arch)
-    sim = CoreSimulator(block.model, **sim_kwargs)
-    result = sim.run(
-        block.instructions,
+    plan = plan_for_block(block, PlanConfig.make(**sim_kwargs))
+    result = CycleEngine().run(
+        plan,
         iterations=max(iterations, 10),
         warmup=0,
         trace_iterations=iterations,
-        resolved=block.resolved,
     )
     return render_timeline(result.trace)

@@ -1,0 +1,185 @@
+"""Properties of the analytical steady-state engine.
+
+Three ISSUE-mandated invariants, checked as hypothesis properties:
+
+* the prediction is a *pure function of the plan* — same plan, same
+  bits, every time (this is what makes the fast path's result memo
+  sound);
+* lengthening a loop-carried dependency chain never decreases the
+  predicted cycles per iteration;
+* adding port pressure never decreases the port-bound term (and the
+  closed-form density scan agrees with the LP reference).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import enumerate_corpus
+from repro.lowering import lower
+from repro.simulator.engine import CycleEngine
+from repro.simulator.plan import plan_for_block
+from repro.simulator.steadystate import (
+    _port_bound_lp,
+    analytical_bound,
+    port_bound,
+    predict_steady_state,
+)
+
+# -- shared fixtures -------------------------------------------------------
+
+_BLOCKS = None
+
+
+def _corpus_blocks():
+    """A cross-ISA slice of corpus blocks (lowered once per module)."""
+    global _BLOCKS
+    if _BLOCKS is None:
+        _BLOCKS = [
+            lower(e.assembly, e.uarch)
+            for e in enumerate_corpus(kernels=("striad", "sum", "pi"))
+        ]
+    return _BLOCKS
+
+
+#: multiply-add chains whose steady state is latency-bound — the
+#: loop-carried recurrence dominates, so scaling its latency must
+#: scale the prediction
+CHAINS = {
+    "x86": ("vmulsd %xmm1, %xmm0, %xmm0\nvaddsd %xmm2, %xmm0, %xmm0", "zen4"),
+    "aarch64": (
+        "fmul v0.2d, v0.2d, v1.2d\nfadd v0.2d, v0.2d, v2.2d",
+        "neoverse_v2",
+    ),
+}
+
+
+# -- purity ----------------------------------------------------------------
+
+
+class TestPredictionPurity:
+    @settings(max_examples=20, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=10**6))
+    def test_same_plan_same_bits(self, index):
+        blocks = _corpus_blocks()
+        plan = plan_for_block(blocks[index % len(blocks)])
+        a = predict_steady_state(plan, iterations=100, warmup=33)
+        b = predict_steady_state(plan, iterations=100, warmup=33)
+        assert a.cycles_per_iteration == b.cycles_per_iteration
+        assert a.reason == b.reason
+        assert a.confident == b.confident
+        assert a.probe_iterations == b.probe_iterations
+        assert a.bound == b.bound
+
+    def test_analytical_bound_pure(self):
+        plan = plan_for_block(_corpus_blocks()[0])
+        assert analytical_bound(plan) == analytical_bound(plan)
+
+
+# -- loop-carried chain monotonicity ---------------------------------------
+
+
+class TestChainMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        isa=st.sampled_from(sorted(CHAINS)),
+        k1=st.floats(min_value=1.0, max_value=4.0),
+        k2=st.floats(min_value=1.0, max_value=4.0),
+    )
+    def test_longer_chain_never_faster(self, isa, k1, k2):
+        lo, hi = sorted((k1, k2))
+        src, uarch = CHAINS[isa]
+        base = plan_for_block(lower(src, uarch))
+
+        def at(scale):
+            plan = dataclasses.replace(
+                base,
+                eff_latency=tuple(l * scale for l in base.eff_latency),
+            )
+            return predict_steady_state(plan, iterations=100, warmup=33)
+
+        slow, fast = at(hi), at(lo)
+        assert slow.cycles_per_iteration >= fast.cycles_per_iteration - 1e-9
+        # and the analytical recurrence term itself is monotone
+        assert slow.bound.lcd >= fast.bound.lcd - 1e-12
+
+
+# -- port pressure monotonicity --------------------------------------------
+
+_PORTS = ("P0", "P1", "P2", "P5")
+
+_uop = st.tuples(
+    st.lists(st.sampled_from(_PORTS), min_size=1, max_size=3, unique=True).map(
+        tuple
+    ),
+    st.floats(min_value=0.05, max_value=3.0),
+)
+_uops = st.lists(_uop, min_size=1, max_size=6)
+
+
+class TestPortBound:
+    @settings(max_examples=60, deadline=None)
+    @given(uops=_uops, extra=_uop)
+    def test_adding_a_uop_never_decreases_the_bound(self, uops, extra):
+        assert port_bound(uops + [extra]) >= port_bound(uops) - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        uops=_uops,
+        index=st.integers(min_value=0, max_value=5),
+        factor=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_widening_occupancy_never_decreases_the_bound(
+        self, uops, index, factor
+    ):
+        j = index % len(uops)
+        wider = list(uops)
+        wider[j] = (uops[j][0], uops[j][1] * factor)
+        assert port_bound(wider) >= port_bound(uops) - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(uops=_uops)
+    def test_density_scan_matches_lp_reference(self, uops):
+        scan = port_bound(uops)
+        lp = _port_bound_lp([(p, d) for p, d in uops if d > 0 and p])
+        assert scan == pytest.approx(lp, rel=1e-6, abs=1e-8)
+
+    def test_empty_and_portless_uops_are_free(self):
+        assert port_bound([]) == 0.0
+        assert port_bound([((), 2.0), (("P0",), 0.0)]) == 0.0
+
+
+# -- the confidence predicate is honest ------------------------------------
+
+
+class TestConfidence:
+    def test_confident_predictions_track_the_engine(self):
+        for block in _corpus_blocks()[:6]:
+            plan = plan_for_block(block)
+            ss = predict_steady_state(plan, iterations=100, warmup=33)
+            assert ss.reason in (
+                "certified",
+                "stable",
+                "simulated",
+                "no-convergence",
+                "analytical-mismatch",
+                "empty",
+            )
+            if not ss.confident:
+                continue
+            truth = CycleEngine().run(plan, iterations=100, warmup=33)
+            tol = 0.05 if ss.reason == "stable" else 1e-9
+            assert ss.cycles_per_iteration == pytest.approx(
+                truth.cycles_per_iteration, rel=tol
+            )
+
+    def test_prediction_never_beats_the_analytical_bound(self):
+        for block in _corpus_blocks()[:6]:
+            plan = plan_for_block(block)
+            ss = predict_steady_state(plan, iterations=100, warmup=33)
+            if ss.confident:
+                # the bound is a lower bound; a confident prediction
+                # sits on or above it (within the stable-slope noise)
+                assert ss.cycles_per_iteration >= ss.bound.bound * (1 - 5e-3)
