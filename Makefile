@@ -5,7 +5,7 @@ PY ?= python
 # targets work from a checkout without `make install`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint test test-fast test-chaos test-fuzz fuzz bench report verify perf perf-check all-figures trace-demo clean
+.PHONY: install lint test test-fast test-chaos test-fuzz test-serve fuzz bench report verify perf perf-check serve-bench serve-check serve-demo all-figures trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,9 +24,9 @@ lint:
 test:
 	$(PY) -m pytest tests/ -m ""
 
-# the default developer loop: lint + slow/chaos/fuzz-marked tests deselected
+# the default developer loop: lint + slow/chaos/fuzz/serve-marked tests deselected
 test-fast: lint
-	$(PY) -m pytest tests/ -m "not slow and not chaos and not fuzz"
+	$(PY) -m pytest tests/ -m "not slow and not chaos and not fuzz and not serve"
 
 # the robustness suite alone: deterministic fault injection, worker
 # kills, hang timeouts (see docs/robustness.md)
@@ -37,6 +37,11 @@ test-chaos:
 # 1,000-kernel smoke sweep (see docs/fuzzing.md)
 test-fuzz:
 	$(PY) -m pytest tests/ -m fuzz
+
+# the serving-daemon suite: real sockets, load generation, serving
+# chaos scenarios (see docs/serving.md)
+test-serve:
+	$(PY) -m pytest tests/ -m serve
 
 # ad-hoc differential sweep; override e.g. `make fuzz SEED=7 COUNT=20000 JOBS=8`
 SEED ?= 42
@@ -51,9 +56,10 @@ bench:
 report:
 	$(PY) -c "from repro.bench.report import generate_report; print(generate_report('REPORT.md'))"
 
-# model self-check + the standing perf gate against the committed
-# BENCH_perf.json baseline (see docs/observability.md)
-verify: perf-check
+# model self-check + the standing perf and serving gates against the
+# committed BENCH_perf.json / BENCH_serve.json baselines
+# (see docs/observability.md and docs/serving.md)
+verify: perf-check serve-check
 	$(PY) -c "from repro.cli import bench_main; bench_main(['verify'])"
 
 # regenerate the committed perf baseline (run on the machine that will
@@ -65,6 +71,20 @@ perf:
 # or attribution-share regressions past the noise floor
 perf-check:
 	$(PY) -c "from repro.cli import perf_main; import sys; sys.exit(perf_main(['--check']))"
+
+# regenerate the committed serving baseline (real daemon, real sockets)
+serve-bench:
+	$(PY) -c "from repro.cli import serve_bench_main; import sys; sys.exit(serve_bench_main([]))"
+
+# gate: replay the serving scenarios with the baseline's config; any
+# availability/error regression or lost backpressure fails the build
+serve-check:
+	$(PY) -c "from repro.cli import serve_bench_main; import sys; sys.exit(serve_bench_main(['--check']))"
+
+# quick demo: spin up a daemon, fire the hot-path load scenario at it,
+# print the req/s + latency summary
+serve-demo:
+	$(PY) -c "from repro.serve.loadgen import run_serve_bench, render_summary; print(render_summary(run_serve_bench(['serve_hot'], quick=True, echo=True)))"
 
 all-figures:
 	$(PY) -c "from repro.cli import bench_main; bench_main(['all'])"

@@ -83,7 +83,16 @@ def _reg_value(reg: MetricsRegistry, snap: dict, name: str) -> float:
 
 
 def _case_fig3(quick: bool) -> list[tuple[str, float, float, dict]]:
-    """Full corpus sweep, cold (empty cache + memo) then warm."""
+    """Full corpus sweep, cold (empty cache + memo) then warm.
+
+    The sweep measures with ``measurement_engine="fastpath"`` — the
+    analytical steady state with cycle-accurate fallback — which is
+    the recommended production configuration; the dedicated
+    ``fastpath_speedup`` case still gates the paired cycle-vs-fastpath
+    ratio, and the per-run fastpath hit share is recorded here so a
+    confidence-gate change that silently sends everything down the
+    cycle-accurate fallback shows up as a ``*_share`` regression.
+    """
     import tempfile
 
     from ..engine import CorpusEngine, use_engine
@@ -99,7 +108,10 @@ def _case_fig3(quick: bool) -> list[tuple[str, float, float, dict]]:
         def sweep():
             with use_engine(engine):
                 return fig3.run(
-                    machines=machines, iterations=iterations, engine=engine
+                    machines=machines,
+                    iterations=iterations,
+                    measurement_engine="fastpath",
+                    engine=engine,
                 )
 
         for name in ("fig3_cold", "fig3_warm"):
@@ -108,6 +120,7 @@ def _case_fig3(quick: bool) -> list[tuple[str, float, float, dict]]:
             wall, cpu, prof, reg, result = _profiled(sweep)
             snap = reg.snapshot()
             m = engine.metrics
+            fp = result.fastpath_stats() or {}
             stats = {
                 "work.units": float(m.total_units),
                 "work.evaluated": float(m.evaluated),
@@ -118,6 +131,10 @@ def _case_fig3(quick: bool) -> list[tuple[str, float, float, dict]]:
                 ),
                 "work.sim_cycles_total": prof.counters.get(
                     "sim.cycles.total", 0.0
+                ),
+                "work.fastpath_hits": float(fp.get("hits", 0)),
+                "fastpath_fallback_share": (
+                    fp.get("fallbacks", 0) / max(1, fp.get("units", 1))
                 ),
                 "units_per_second": m.total_units / wall if wall else 0.0,
                 **_attribution_stats(prof),

@@ -48,6 +48,25 @@
 
     ``--check`` exits nonzero when regressions are found (see
     ``docs/observability.md``).
+
+``repro-serve``
+    Long-running analysis-as-a-service daemon over the corpus engine::
+
+        repro-serve --port 8472 --jobs 4 --cache .repro-cache
+        curl -d '{"assembly": "...", "arch": "spr"}' \
+            http://127.0.0.1:8472/v1/analyze
+
+    Bounded admission (429 backpressure), per-request deadlines (504),
+    per-backend circuit breakers (503), fault-isolated workers, and
+    graceful SIGTERM drain — see ``docs/serving.md``.
+
+``repro-serve-bench``
+    Deterministic load-generator benchmark of the daemon (hot cache,
+    cold batch, overload backpressure scenarios); writes/gates the
+    ``BENCH_serve.json`` baseline::
+
+        repro-serve-bench                 # refresh the baseline
+        repro-serve-bench --check         # CI gate
 """
 
 from __future__ import annotations
@@ -250,7 +269,7 @@ def bench_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        nargs="+",
+        nargs="*",
         help=f"experiment name(s): {', '.join(EXPERIMENTS)}, 'verify', or 'all'",
     )
     parser.add_argument(
@@ -349,9 +368,33 @@ def bench_main(argv: list[str] | None = None) -> int:
              "past it fails transiently and is retried within the "
              "retry budget (default: no deadline)",
     )
+    parser.add_argument(
+        "--list-quarantine",
+        action="store_true",
+        dest="list_quarantine",
+        help="list the units quarantined under --cache (persisted "
+             "skip-list from earlier quarantine-policy runs) and exit",
+    )
+    parser.add_argument(
+        "--clear-quarantine",
+        action="store_true",
+        dest="clear_quarantine",
+        help="release every unit quarantined under --cache so the next "
+             "sweep re-attempts them, and exit (the result cache itself "
+             "is untouched)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.list_quarantine or args.clear_quarantine:
+        if not args.cache:
+            parser.error(
+                "--list-quarantine/--clear-quarantine operate on the "
+                "persistent skip-list under --cache DIR"
+            )
+        return _quarantine_admin(args)
+    if not args.experiment:
+        parser.error("name at least one experiment (or 'all')")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
     if args.unit_timeout is not None and args.unit_timeout <= 0:
@@ -529,6 +572,40 @@ def bench_main(argv: list[str] | None = None) -> int:
         )
         return 1
     return 1 if engine.failure_log else 0
+
+
+def _quarantine_admin(args) -> int:
+    """``repro-bench --list-quarantine/--clear-quarantine`` under --cache.
+
+    Operators recover from a poisoned skip-list here instead of
+    deleting the cache directory by hand (which would also throw away
+    every good memoized result).
+    """
+    from .engine import CorpusEngine
+
+    engine = CorpusEngine(
+        jobs=1, cache_dir=args.cache, error_policy="quarantine"
+    )
+    entries = engine.quarantine_entries()
+    if args.list_quarantine:
+        if not entries:
+            print(f"no quarantined units under {args.cache}")
+        else:
+            print(f"{len(entries)} quarantined unit(s) under {args.cache}:")
+            for key, info in sorted(entries.items()):
+                label = info.get("label") or "?"
+                print(
+                    f"  {key[:16]}  {label}  "
+                    f"[{info.get('error_class', '?')}: "
+                    f"{info.get('message', '')[:60]}]"
+                )
+    if args.clear_quarantine:
+        released = engine.clear_quarantine()
+        print(
+            f"released {released} quarantined unit(s); the next sweep "
+            "re-attempts them"
+        )
+    return 0
 
 
 def fuzz_main(argv: list[str] | None = None) -> int:
@@ -812,6 +889,279 @@ def report_main(argv: list[str] | None = None) -> int:
     if args.check and not diff.ok:
         return 1
     return 0
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro-serve`` — the analysis-as-a-service daemon."""
+    import logging
+
+    from .serve.daemon import ServeConfig, run_server
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="fault-contained analysis-as-a-service daemon: "
+                    "POST /v1/analyze with {assembly, arch, backend}; "
+                    "bounded admission, deadlines, circuit breakers, "
+                    "graceful drain (docs/serving.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8472,
+        help="listen port; 0 picks a free one (default: 8472)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="engine worker processes (default: 2; keep >= 2 so hung "
+             "units can be killed at the --unit-timeout deadline)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", dest="cache",
+        help="content-addressed result cache — the serving hot path "
+             "(strongly recommended for any real deployment)",
+    )
+    parser.add_argument(
+        "--error-policy", choices=("collect", "quarantine"),
+        default="collect", dest="error_policy",
+        help="failed-unit disposition: collect (default) or quarantine "
+             "(repeat offenders are refused without re-evaluating; "
+             "requires --cache)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        dest="queue_capacity",
+        help="admission queue bound; requests beyond it get 429 + "
+             "Retry-After (default: 64)",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=16, metavar="N", dest="batch_max",
+        help="max requests coalesced into one engine batch (default: 16)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        dest="request_timeout",
+        help="end-to-end deadline per request, queue wait included; "
+             "clients may shorten it per-request via X-Timeout "
+             "(default: 30)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=20.0, metavar="SECONDS",
+        dest="unit_timeout",
+        help="engine per-attempt deadline; a hung unit is killed and "
+             "surfaces as 504 (default: 20; 0 disables)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        dest="max_retries",
+        help="engine re-attempts for transient failures (default: 1)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        dest="breaker_threshold",
+        help="consecutive 5xx-class failures that open a backend's "
+             "circuit breaker (default: 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SECONDS",
+        dest="breaker_cooldown",
+        help="seconds an open breaker waits before a half-open probe "
+             "(default: 5)",
+    )
+    parser.add_argument(
+        "--drain-deadline", type=float, default=10.0, metavar="SECONDS",
+        dest="drain_deadline",
+        help="how long a SIGTERM/SIGINT drain waits for in-flight "
+             "requests before giving up (default: 10)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="PATH", dest="manifest",
+        help="flush a run-report manifest (serving stats + metrics) "
+             "here on drain",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log at DEBUG instead of INFO",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.port < 0 or args.port > 65535:
+        parser.error("--port must be 0..65535")
+    if args.queue_capacity < 1:
+        parser.error("--queue-capacity must be >= 1")
+    if args.batch_max < 1:
+        parser.error("--batch-max must be >= 1")
+    if args.request_timeout <= 0:
+        parser.error("--request-timeout must be positive")
+    if args.unit_timeout < 0:
+        parser.error("--unit-timeout must be >= 0 (0 disables)")
+    if args.error_policy == "quarantine" and not args.cache:
+        parser.error("--error-policy quarantine requires --cache")
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        error_policy=args.error_policy,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        request_timeout=args.request_timeout,
+        unit_timeout=args.unit_timeout or None,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_deadline=args.drain_deadline,
+        manifest_path=args.manifest,
+    )
+    return run_server(config)
+
+
+def serve_bench_main(argv: list[str] | None = None) -> int:
+    """``repro-serve-bench`` — deterministic serving load benchmark."""
+    from .obs.report import diff_manifests, load_manifest, write_manifest
+    from .serve.loadgen import (
+        DEFAULT_SEED,
+        SCENARIOS,
+        render_summary,
+        run_serve_bench,
+    )
+
+    default_baseline = "BENCH_serve.json"
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-bench",
+        description="drive a real repro-serve daemon with deterministic "
+                    "load scenarios (hot cache, cold batch, overload "
+                    "backpressure) and write/gate the serving baseline "
+                    "manifest",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the scenarios and exit nonzero on regressions "
+             "against the baseline (the baseline file is never "
+             "rewritten)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=default_baseline,
+        help=f"baseline manifest for --check (default: {default_baseline})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="where to write the fresh manifest (default: the baseline "
+             "path, or only printed in --check mode)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        metavar="NAMES",
+        help=f"comma-separated subset (default: all; known: "
+             f"{', '.join(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        metavar="N",
+        help=f"fuzz-corpus seed for the request stream "
+             f"(default: {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink every scenario (smoke tests; baselines and checks "
+             "must agree on this)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        metavar="REL",
+        help="relative tolerance for --check: latency/throughput may "
+             "drift this much; structural gates (errors, availability, "
+             "hit rate, 429 presence) are unaffected by noise "
+             "(default: 0.6)",
+    )
+    args = parser.parse_args(argv)
+    if args.seed < 0:
+        parser.error("--seed must be >= 0")
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    scenarios = None
+    if args.scenarios:
+        scenarios = [
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        ]
+
+    baseline = None
+    quick = args.quick
+    seed = args.seed
+    if args.check:
+        try:
+            baseline = load_manifest(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        cfg = baseline.get("config", {})
+        quick = quick or bool(cfg.get("quick", False))
+        if args.seed == DEFAULT_SEED and "seed" in cfg:
+            seed = int(cfg["seed"])
+        if scenarios is None and cfg.get("scenarios"):
+            scenarios = list(cfg["scenarios"])
+
+    mode = "check against " + args.baseline if args.check else "baseline run"
+    print(f"repro-serve-bench: {mode} (seed={seed} quick={quick})")
+    try:
+        manifest = run_serve_bench(
+            scenarios, seed=seed, quick=quick, echo=True
+        )
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(manifest))
+
+    if args.out:
+        write_manifest(manifest, args.out)
+        print(f"[serve manifest written to {args.out}]")
+    elif not args.check:
+        write_manifest(manifest, args.baseline)
+        print(f"[serve baseline written to {args.baseline}]")
+
+    if manifest.get("failures"):
+        print(
+            f"ERROR: scenario(s) failed: {', '.join(manifest['failures'])}",
+            file=sys.stderr,
+        )
+        if not args.check:
+            return 1
+    if not args.check:
+        return 0
+    if scenarios:
+        baseline = dict(baseline)
+        baseline["benchmarks"] = {
+            name: rec
+            for name, rec in baseline.get("benchmarks", {}).items()
+            if name in manifest["benchmarks"]
+        }
+    diff = diff_manifests(
+        baseline,
+        manifest,
+        # one generous relative tolerance: load-dependent latency and
+        # throughput get headroom, while the structural gates stay
+        # sharp — errors=0 regresses on any single error, and a
+        # scenario with any failed request raises, which is a status
+        # regression regardless of tolerance
+        accuracy_tolerance=args.tolerance,
+        runtime_tolerance=args.tolerance,
+        min_runtime_seconds=1.0,
+    )
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 def perf_main(argv: list[str] | None = None) -> int:

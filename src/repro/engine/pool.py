@@ -209,6 +209,19 @@ def _worker_init(
     global _WORKER_TIMEOUT, _WORKER_PROFILING
     _WORKER_TIMEOUT = unit_timeout
     _WORKER_PROFILING = bool(profiling)
+    # A forked worker inherits the parent's signal state.  When the
+    # parent is an asyncio daemon (repro-serve) that state is poison:
+    # asyncio's no-op SIGTERM/SIGINT handlers make the worker immune to
+    # ``Pool.terminate()`` (the teardown join then hangs forever), and
+    # the inherited ``signal.set_wakeup_fd`` socket means any signal a
+    # worker receives is *echoed into the parent's event loop*, which
+    # reads it as a signal of its own (a pool teardown thus looked like
+    # SIGTERM and self-drained the daemon).  Reset both.
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    # shutdown is coordinated by the parent (finish batch, then
+    # terminate workers) — a tty Ctrl-C must not kill workers first
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     from .. import faults
 
     faults.set_active_plan(plan)
@@ -463,6 +476,15 @@ class CorpusEngine:
         Per-attempt deadline in seconds; a unit running past it raises
         :class:`~.errors.UnitTimeoutError` in the worker (transient,
         so it is retried within budget).  ``None`` disables deadlines.
+    serial_fallback:
+        With ``jobs > 1``, a batch containing a *single* cache miss is
+        normally evaluated inline (default ``True`` — the pool fork
+        would cost more than the unit).  Inline evaluation runs in the
+        calling process: a crashing unit takes the caller down with it
+        and SIGALRM deadlines cannot arm off the main thread.  Hosts
+        that must contain arbitrary unit failures — the serving
+        daemon — pass ``False`` to force every evaluation through
+        worker processes regardless of batch size.
     """
 
     def __init__(
@@ -475,6 +497,7 @@ class CorpusEngine:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         unit_timeout: Optional[float] = None,
+        serial_fallback: bool = True,
     ):
         if error_policy not in ERROR_POLICIES:
             raise ValueError(
@@ -506,6 +529,7 @@ class CorpusEngine:
             max_retries=max_retries, backoff=retry_backoff
         )
         self.unit_timeout = unit_timeout
+        self.serial_fallback = serial_fallback
         #: metrics of the most recent :meth:`run` batch
         self.metrics = EngineMetrics(jobs=self.jobs)
         #: metrics accumulated over the engine's lifetime
@@ -741,7 +765,7 @@ class CorpusEngine:
         total: int,
     ) -> tuple[dict[int, tuple[dict, float, Optional[dict]]], dict[int, UnitFailure]]:
         """Evaluate cache misses — inline or pooled — with retries."""
-        if self.jobs == 1 or len(pending) == 1:
+        if self.jobs == 1 or (self.serial_fallback and len(pending) == 1):
             with self._serial_state():
                 return self._attempt_rounds(
                     pending, _dispatch_serial, None, metrics, attempts, total
@@ -971,6 +995,15 @@ class CorpusEngine:
                 "could not persist quarantine entry for %s (%s); "
                 "quarantine remains in-memory only", failure.label, exc,
             )
+
+    def quarantine_entries(self) -> dict[str, dict[str, Any]]:
+        """The current skip-list: cache key → recorded failure info
+        (a copy — mutate via :meth:`clear_quarantine`, not here).
+
+        The CLI's ``--list-quarantine`` renders this so operators can
+        see *why* units are being skipped before deciding to release
+        them."""
+        return {k: dict(v) for k, v in self._quarantined.items()}
 
     def clear_quarantine(self) -> int:
         """Forget every quarantined unit (memory and disk); returns the

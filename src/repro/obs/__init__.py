@@ -31,6 +31,7 @@ stderr TTY progress bar.  See ``docs/observability.md``.
 """
 
 from .metrics import (
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -61,6 +62,7 @@ from .report import (
 )
 from .trace import (
     PID_ENGINE,
+    PID_SERVE,
     PID_SIM,
     NullTracer,
     Tracer,
@@ -70,7 +72,9 @@ from .trace import (
 )
 
 __all__ = [
+    "LATENCY_BUCKETS",
     "PID_ENGINE",
+    "PID_SERVE",
     "PID_SIM",
     "Counter",
     "Finding",

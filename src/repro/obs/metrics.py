@@ -31,6 +31,15 @@ DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
 )
 
+#: bucket bounds for request-latency histograms (``repro-serve``):
+#: finer sub-100ms resolution than :data:`DEFAULT_BUCKETS` so p50/p99
+#: of cache-hit responses interpolate within narrow buckets instead of
+#: smearing across one
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
 
 class Counter:
     """Monotonically increasing value."""

@@ -30,11 +30,11 @@ SCHEMA = "repro-run-report/1"
 _LOWER_IS_BETTER = (
     "rpe", "mape", "error", "off_by", "seconds", "misses", "violations",
     "skipped", "failed", "retries", "diverg", "degraded", "_share",
-    "fallback",
+    "fallback", "timeouts",
 )
 _HIGHER_IS_BETTER = (
     "right_side", "within_", "hit_rate", "accuracy", "gflops", "ipc",
-    "per_second", "speedup",
+    "per_second", "speedup", "availability",
 )
 
 

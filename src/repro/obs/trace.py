@@ -41,6 +41,8 @@ PID_SIM = 1
 PID_ENGINE = 2
 #: trace "process" of the lowering pipeline (wall-clock timestamps)
 PID_LOWER = 3
+#: trace "process" of the serving daemon (wall-clock timestamps)
+PID_SERVE = 4
 
 #: lowering lane (parse/resolve spans and memo-hit instants)
 TID_LOWER = 0
@@ -56,6 +58,12 @@ TID_PORT_BASE = 10
 TID_ENGINE_CONTROL = 0
 #: first worker lane; worker *i* maps to tid 1+i
 TID_WORKER_BASE = 1
+
+#: serving lanes: the dispatcher's batch spans, then one request lane
+#: per batch slot (slot *i* maps to tid 1+i) — batches are serialized,
+#: so slot occupancy is disjoint per lane by construction
+TID_SERVE_DISPATCH = 0
+TID_SERVE_SLOT_BASE = 1
 
 
 class Tracer:
@@ -104,6 +112,13 @@ class Tracer:
         self.lane(PID_ENGINE, TID_ENGINE_CONTROL, "engine")
         for i in range(jobs):
             self.lane(PID_ENGINE, TID_WORKER_BASE + i, f"worker {i}")
+
+    def serve_lanes(self, batch_max: int) -> None:
+        """Register the serving daemon's dispatcher + slot lanes."""
+        self.process(PID_SERVE, "serving daemon (wall clock)")
+        self.lane(PID_SERVE, TID_SERVE_DISPATCH, "dispatcher")
+        for i in range(batch_max):
+            self.lane(PID_SERVE, TID_SERVE_SLOT_BASE + i, f"slot {i}")
 
     # -- event emission ------------------------------------------------
 

@@ -1,0 +1,75 @@
+"""``repro.serve`` — analysis-as-a-service over the corpus engine.
+
+The serving layer (``repro-serve``) turns the batch platform into a
+long-running daemon that survives hostile traffic: bounded admission
+with honest 429 backpressure, per-request deadlines, per-backend
+circuit breakers, fault-isolated workers, and graceful SIGTERM drain.
+``repro-serve-bench`` drives it with a deterministic load generator
+whose manifest is gated by ``repro-report --check``.
+
+Layout:
+
+* :mod:`.protocol` — request schema, error taxonomy, engine-failure →
+  HTTP status mapping (the contract ``docs/serving.md`` documents);
+* :mod:`.admission` — the bounded queue + ticket/batching machinery;
+* :mod:`.breaker` — per-backend circuit breakers;
+* :mod:`.daemon` — the asyncio server, dispatcher, and drain logic;
+* :mod:`.loadgen` — deterministic load scenarios + benchmark manifest.
+"""
+
+from .admission import AdmissionQueue, Ticket
+from .breaker import BreakerBoard, CircuitBreaker
+from .daemon import ReproServer, ServeConfig, ServerThread, run_server
+from .loadgen import (
+    DEFAULT_SEED,
+    SCENARIOS,
+    render_summary,
+    run_load,
+    run_serve_bench,
+)
+from .protocol import (
+    KNOWN_BACKENDS,
+    SCHEMA,
+    AnalyzeRequest,
+    CircuitOpenError,
+    DeadlineError,
+    DrainingError,
+    PayloadTooLarge,
+    QueueFullError,
+    ServeError,
+    ValidationError,
+    failure_body,
+    parse_analyze_request,
+    result_body,
+    status_for_failure,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "KNOWN_BACKENDS",
+    "SCENARIOS",
+    "SCHEMA",
+    "AdmissionQueue",
+    "AnalyzeRequest",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineError",
+    "DrainingError",
+    "PayloadTooLarge",
+    "QueueFullError",
+    "ReproServer",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "Ticket",
+    "ValidationError",
+    "failure_body",
+    "parse_analyze_request",
+    "render_summary",
+    "result_body",
+    "run_load",
+    "run_serve_bench",
+    "run_server",
+    "status_for_failure",
+]

@@ -1,0 +1,169 @@
+"""Per-backend circuit breakers for the serving daemon.
+
+A backend that starts failing *permanently* (an evaluator bug after a
+bad deploy, a machine file gone corrupt) would otherwise burn a worker
+slot per request to fail identically — and under load, hundreds of
+clients would queue behind known-doomed work.  The breaker converts
+that into fast structured 503s:
+
+* **closed** — normal operation; consecutive 5xx-class failures are
+  counted, success resets the count.
+* **open** — tripped after ``threshold`` consecutive failures; every
+  request is refused instantly (503 + ``Retry-After``) until
+  ``cooldown`` seconds pass.
+* **half-open** — after the cooldown, exactly one probe request is
+  admitted; success closes the breaker, failure re-opens it for a
+  fresh cooldown.
+
+Only failures the protocol maps to 5xx count toward tripping (see
+:func:`repro.serve.protocol.status_for_failure`): a client posting
+unparsable assembly gets its 400 without ever moving the breaker,
+so one confused client cannot deny service to everyone else.
+
+The clock is injectable (``clock=``) so the state machine is testable
+without sleeping; the daemon's single dispatcher task is the only
+writer, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+DEFAULT_THRESHOLD = 5
+DEFAULT_COOLDOWN = 5.0
+
+
+class CircuitBreaker:
+    """One backend's breaker state machine."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown: float = DEFAULT_COOLDOWN,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._consecutive = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        #: lifetime counters, for /stats and the drain manifest
+        self.trips = 0
+        self.refusals = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would admit a probe (0 if now)."""
+        if self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    # -- decisions -----------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request proceed to the backend right now?
+
+        In half-open state exactly one in-flight probe is admitted at a
+        time; everyone else keeps getting refused until the probe's
+        outcome is recorded.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        self.refusals += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+
+    def release_probe(self) -> None:
+        """The half-open probe was shed before reaching the backend
+        (deadline expired in queue, drain dropped it): no verdict
+        either way, so free the slot for the next probe."""
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """One 5xx-class outcome; trips the breaker at the threshold.
+
+        A failed half-open probe re-opens immediately for a fresh
+        cooldown, whatever the consecutive count is.
+        """
+        self._consecutive += 1
+        if self._probe_in_flight:
+            self._probe_in_flight = False
+            self._opened_at = self._clock()
+            self.trips += 1
+            return
+        if self._opened_at is None and self._consecutive >= self.threshold:
+            self._opened_at = self._clock()
+            self.trips += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive,
+            "trips": self.trips,
+            "refusals": self.refusals,
+            "retry_after": round(self.retry_after(), 3),
+        }
+
+
+class BreakerBoard:
+    """The daemon's breakers, one per backend, created on first use."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown: float = DEFAULT_COOLDOWN,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, backend: str) -> CircuitBreaker:
+        b = self._breakers.get(backend)
+        if b is None:
+            b = CircuitBreaker(self.threshold, self.cooldown, self._clock)
+            self._breakers[backend] = b
+        return b
+
+    def any_open(self) -> bool:
+        return any(b.state == OPEN for b in self._breakers.values())
+
+    def all_open(self) -> bool:
+        """Every known backend refused at last sight — the daemon is
+        effectively down (readiness turns unready on this)."""
+        return bool(self._breakers) and all(
+            b.state == OPEN for b in self._breakers.values()
+        )
+
+    def snapshot(self) -> dict[str, dict]:
+        return {
+            name: b.snapshot() for name, b in sorted(self._breakers.items())
+        }

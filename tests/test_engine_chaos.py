@@ -217,6 +217,28 @@ class TestWorkerKill:
             with pytest.raises(UnitEvaluationError, match="WorkerCrashError"):
                 eng.run(_units(6))
 
+    def test_single_unit_crash_contained_without_serial_fallback(
+        self, fast_drain
+    ):
+        # with jobs > 1 a single-miss batch normally runs inline; an
+        # exit fault there would kill *this* process.  serial_fallback
+        # =False (the serving daemon's setting) forces pool dispatch,
+        # so the crash is one structured failure, not a dead host.
+        plan = FaultPlan([FaultSpec(site="exit", match="w0")])
+        with faults.use_plan(plan):
+            eng = CorpusEngine(
+                jobs=2, error_policy="collect", max_retries=0,
+                serial_fallback=False,
+            )
+            out = eng.run(_units(1))
+        assert out == [None]
+        (f,) = eng.failures
+        assert f.error_class == "WorkerCrashError"
+        # and the engine keeps working afterwards
+        with faults.use_plan(FaultPlan()):
+            eng2 = CorpusEngine(jobs=2, serial_fallback=False)
+            assert eng2.run(_units(1)) == CorpusEngine(jobs=1).run(_units(1))
+
 
 class TestHangTimeout:
     def test_hang_converts_to_timeout_failure(self):

@@ -1,0 +1,272 @@
+"""Unit tests for the circuit breaker and admission queue (fake clocks, no IO)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.serve.protocol import QueueFullError, parse_analyze_request
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self, clock):
+        cb = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        assert cb.state == CLOSED
+        assert cb.allow()
+
+    def test_trips_after_consecutive_failures(self, clock):
+        cb = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == CLOSED
+        cb.record_failure()
+        assert cb.state == OPEN
+        assert not cb.allow()
+
+    def test_success_resets_failure_streak(self, clock):
+        cb = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        cb.record_failure()
+        cb.record_success()
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == CLOSED  # streak broken, still below threshold
+
+    def test_half_open_after_cooldown_admits_single_probe(self, clock):
+        cb = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        assert cb.state == OPEN
+        clock.advance(5.1)
+        assert cb.state == HALF_OPEN
+        assert cb.allow()          # the probe
+        assert not cb.allow()      # concurrent request still refused
+        cb.record_success()
+        assert cb.state == CLOSED
+        assert cb.allow()
+
+    def test_failed_probe_reopens_immediately(self, clock):
+        cb = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.advance(5.1)
+        assert cb.allow()
+        cb.record_failure()  # single probe failure, well below threshold
+        assert cb.state == OPEN
+        assert not cb.allow()
+
+    def test_release_probe_frees_slot_without_verdict(self, clock):
+        cb = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        clock.advance(5.1)
+        assert cb.allow()
+        assert not cb.allow()
+        cb.release_probe()  # probe shed before reaching the backend
+        assert cb.state == HALF_OPEN
+        assert cb.allow()   # next request may probe
+
+    def test_retry_after_counts_down(self, clock):
+        cb = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        assert cb.retry_after() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert cb.retry_after() == pytest.approx(2.0)
+        clock.advance(3.0)
+        assert cb.retry_after() == 0.0
+
+    def test_snapshot(self, clock):
+        cb = CircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        cb.record_failure()
+        cb.record_failure()
+        snap = cb.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["trips"] == 1
+        assert snap["consecutive_failures"] == 2
+
+
+class TestBreakerBoard:
+    def test_lazy_per_backend_instances(self, clock):
+        board = BreakerBoard(threshold=1, cooldown=5.0, clock=clock)
+        assert board.get("sim") is board.get("sim")
+        assert board.get("sim") is not board.get("model")
+
+    def test_any_open_and_all_open(self, clock):
+        board = BreakerBoard(threshold=1, cooldown=5.0, clock=clock)
+        board.get("sim")
+        board.get("model")
+        assert not board.any_open()
+        board.get("sim").record_failure()
+        assert board.any_open()
+        assert not board.all_open()
+        board.get("model").record_failure()
+        assert board.all_open()
+
+    def test_all_open_false_when_empty(self, clock):
+        # a fresh board has tripped nothing; readiness must not report down
+        assert not BreakerBoard(threshold=1, cooldown=5.0, clock=clock).all_open()
+
+    def test_snapshot_covers_all_backends(self, clock):
+        board = BreakerBoard(threshold=1, cooldown=5.0, clock=clock)
+        board.get("sim").record_failure()
+        snap = board.snapshot()
+        assert snap["sim"]["state"] == OPEN
+
+
+def _req(label="k"):
+    import json
+
+    return parse_analyze_request(json.dumps({
+        "assembly": "fadd v0.2d, v1.2d, v2.2d\n",
+        "arch": "gcs",
+        "label": label,
+    }).encode())
+
+
+def _submit(q, label="k", deadline=None):
+    import time
+
+    if deadline is None:
+        deadline = time.monotonic() + 60.0
+    return q.submit(_req(label), deadline=deadline)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionQueue:
+    def test_submit_and_batch(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=4)
+            t1 = _submit(q, "a")
+            t2 = _submit(q, "b")
+            batch = await q.next_batch()
+            assert [t.request.label for t in batch] == ["a", "b"]
+            assert t1.seq < t2.seq
+
+        _run(scenario())
+
+    def test_batch_max_bounds_greedy_drain(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=16, batch_max=3)
+            for i in range(5):
+                _submit(q, f"k{i}")
+            first = await q.next_batch()
+            second = await q.next_batch()
+            assert len(first) == 3
+            assert len(second) == 2
+
+        _run(scenario())
+
+    def test_rejects_when_full_with_retry_after(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=2, batch_max=2)
+            _submit(q, "a")
+            _submit(q, "b")
+            with pytest.raises(QueueFullError) as ei:
+                _submit(q, "c")
+            assert ei.value.retry_after >= 0.1
+            assert q.rejected == 1
+            assert q.admitted == 2
+
+        _run(scenario())
+
+    def test_abandoned_tickets_filtered_from_batch(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=8)
+            t1 = _submit(q, "a")
+            _submit(q, "b")
+            t1.abandoned = True
+            batch = await q.next_batch()
+            assert [t.request.label for t in batch] == ["b"]
+
+        _run(scenario())
+
+    def test_close_yields_none_after_pending_work(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=8)
+            _submit(q, "a")
+            q.close()
+            batch = await q.next_batch()
+            assert batch and batch[0].request.label == "a"
+            assert await q.next_batch() is None
+            assert await q.next_batch() is None  # sentinel re-seated
+
+        _run(scenario())
+
+    def test_drain_pending_returns_unserved_tickets(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=8)
+            _submit(q, "a")
+            _submit(q, "b")
+            q.close()
+            pending = q.drain_pending()
+            assert [t.request.label for t in pending] == ["a", "b"]
+            assert await q.next_batch() is None  # sentinel survives the drain
+
+        _run(scenario())
+
+    def test_retry_after_hint_scales_with_depth(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=64, batch_max=4)
+            q.observe_service(0.5)
+            empty_hint = q.retry_after_hint()
+            for i in range(16):
+                _submit(q, f"k{i}")
+            deep_hint = q.retry_after_hint()
+            assert deep_hint > empty_hint
+
+        _run(scenario())
+
+    def test_ticket_remaining_goes_negative_past_deadline(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=8)
+            t = _submit(q, "a", deadline=100.0)
+            assert t.remaining(now=90.0) == pytest.approx(10.0)
+            assert t.remaining(now=110.0) < 0.0
+
+        _run(scenario())
+
+    def test_expired_ticket_skipped_and_marked_abandoned(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=8)
+            dead = _submit(q, "dead", deadline=0.0)  # already past
+            _submit(q, "live")
+            batch = await q.next_batch()
+            assert [t.request.label for t in batch] == ["live"]
+            assert dead.abandoned
+
+        _run(scenario())
+
+    def test_snapshot_shape(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, batch_max=4)
+            _submit(q, "a")
+            snap = q.snapshot()
+            assert snap["depth"] == 1
+            assert snap["capacity"] == 8
+            assert snap["admitted"] == 1
+
+        _run(scenario())

@@ -1,0 +1,161 @@
+"""Load-generator + serving-benchmark tests (quick scenarios over real
+sockets, manifest shape, and the baseline check gate)."""
+
+import json
+
+import pytest
+
+from repro.obs.report import diff_manifests
+from repro.serve.loadgen import (
+    DEFAULT_SEED,
+    SCENARIOS,
+    _payloads,
+    _quantile,
+    render_summary,
+    run_serve_bench,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestHelpers:
+    def test_quantile_interpolates(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert _quantile(vals, 0.0) == 1.0
+        assert _quantile(vals, 1.0) == 4.0
+        assert _quantile(vals, 0.5) == pytest.approx(2.5)
+        assert _quantile([], 0.5) == 0.0
+        assert _quantile([7.0], 0.99) == 7.0
+
+    def test_payloads_are_deterministic(self):
+        a = _payloads(DEFAULT_SEED, 4)
+        b = _payloads(DEFAULT_SEED, 4)
+        c = _payloads(DEFAULT_SEED + 1, 4)
+        assert a == b
+        assert a != c
+        for p in a:
+            assert p["assembly"]
+            assert p["arch"] in ("spr", "genoa", "gcs")
+            assert p["backend"] == "model"
+
+    def test_payloads_carry_opts(self):
+        [p] = _payloads(DEFAULT_SEED, 1, backend="sim",
+                        opts={"iterations": 9})
+        assert p["backend"] == "sim"
+        assert p["opts"] == {"iterations": 9}
+
+
+class TestQuickBench:
+    """One quick full run shared by shape/summary/check assertions."""
+
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return run_serve_bench(quick=True)
+
+    def test_all_scenarios_ok(self, manifest):
+        assert set(manifest["benchmarks"]) == set(SCENARIOS)
+        for name, b in manifest["benchmarks"].items():
+            assert b["status"] == "ok", f"{name}: {b.get('error')}"
+        assert manifest.get("failures", []) == []
+
+    def test_hot_scenario_gates(self, manifest):
+        work = manifest["benchmarks"]["serve_hot"]["stats"]["work"]
+        assert work["errors"] == 0
+        assert work["availability"] == 1.0
+        assert work["cache_hit_rate"] == 1.0  # primed set: every hit
+
+    def test_cold_scenario_gates(self, manifest):
+        work = manifest["benchmarks"]["serve_cold"]["stats"]["work"]
+        assert work["errors"] == 0
+        assert work["availability"] == 1.0
+
+    def test_overload_scenario_sheds(self, manifest):
+        work = manifest["benchmarks"]["serve_overload"]["stats"]["work"]
+        assert work["answered"] == work["requests"]
+        assert work["http_429"] >= 1
+        assert (
+            work["http_200"] + work["http_429"] + work["http_5xx"]
+            == work["requests"]
+        )
+
+    def test_manifest_is_json_and_configured(self, manifest):
+        assert manifest["command"] == "repro-serve-bench"
+        assert manifest["config"]["seed"] == DEFAULT_SEED
+        assert manifest["config"]["quick"] is True
+        json.dumps(manifest)  # fully serializable
+
+    def test_latency_stats_present(self, manifest):
+        perf = manifest["benchmarks"]["serve_hot"]["stats"]["perf"]
+        assert perf["requests_per_second"] > 0
+        assert perf["latency_p50_seconds"] <= perf["latency_p99_seconds"]
+
+    def test_render_summary(self, manifest):
+        text = render_summary(manifest)
+        assert "serve_hot" in text
+        assert "req/s" in text
+        assert "429s" in text
+
+    def test_self_diff_passes_check_gate(self, manifest):
+        diff = diff_manifests(
+            manifest, manifest,
+            accuracy_tolerance=0.6, runtime_tolerance=0.6,
+            min_runtime_seconds=1.0,
+        )
+        assert diff.ok, diff.render()
+
+    def test_check_gate_catches_new_errors(self, manifest):
+        broken = json.loads(json.dumps(manifest))
+        stats = broken["benchmarks"]["serve_hot"]["stats"]["work"]
+        # errors=0 baselines gate on ANY error (relative to max(1,|bv|)
+        # a move of 1 > 0.6); availability needs a drop past tolerance
+        stats["errors"] = 1.0
+        stats["availability"] = 0.2
+        diff = diff_manifests(
+            manifest, broken,
+            accuracy_tolerance=0.6, runtime_tolerance=0.6,
+            min_runtime_seconds=1.0,
+        )
+        metrics = {f.metric for f in diff.regressions}
+        assert any("errors" in m for m in metrics)
+        assert any("availability" in m for m in metrics)
+
+    def test_check_gate_catches_scenario_failure(self, manifest):
+        broken = json.loads(json.dumps(manifest))
+        broken["benchmarks"]["serve_overload"] = {
+            "status": "error",
+            "seconds": 0.1,
+            "error": "RuntimeError: no 429 observed",
+        }
+        diff = diff_manifests(
+            manifest, broken,
+            accuracy_tolerance=0.6, runtime_tolerance=0.6,
+            min_runtime_seconds=1.0,
+        )
+        assert any(
+            f.benchmark == "serve_overload" for f in diff.regressions
+        )
+
+    def test_neutral_count_drift_does_not_gate(self, manifest):
+        # 429 counts are scheduling-dependent; a big swing must not flap
+        drifted = json.loads(json.dumps(manifest))
+        work = drifted["benchmarks"]["serve_overload"]["stats"]["work"]
+        shift = min(3, work["http_429"] - 1)
+        work["http_429"] -= shift
+        work["http_200"] += shift
+        diff = diff_manifests(
+            manifest, drifted,
+            accuracy_tolerance=0.6, runtime_tolerance=0.6,
+            min_runtime_seconds=1.0,
+        )
+        assert diff.ok, diff.render()
+
+
+class TestRunner:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_serve_bench(["serve_warp"], quick=True)
+
+    def test_scenario_subset(self):
+        manifest = run_serve_bench(["serve_hot"], quick=True)
+        assert list(manifest["benchmarks"]) == ["serve_hot"]
+        assert manifest["config"]["scenarios"] == ["serve_hot"]
